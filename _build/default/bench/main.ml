@@ -1,0 +1,385 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec 6) on the simulator and prints paper-expected vs
+   measured values, then runs Bechamel micro-benchmarks of each
+   experiment's computational kernel.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- quick   # skip the slowest sections
+
+   Experiment ids (E1..E9, A1) are indexed in DESIGN.md and results are
+   recorded in EXPERIMENTS.md. *)
+
+module E = Ac3_core.Experiment
+module Analysis = Ac3_core.Analysis
+module Attack = Ac3_core.Attack
+module Keys = Ac3_crypto.Keys
+module Ac2t = Ac3_contract.Ac2t
+open Ac3_chain
+
+let section title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let opt_delta = function Some v -> Fmt.str "%5.2f" v | None -> "  -  "
+
+(* --- E1/E2: Figures 8 and 9 — protocol phase timelines ------------------- *)
+
+let print_timeline (t : E.timeline) =
+  Fmt.pr "%s (Diam(D) = %d), event times in Δ units:@." t.E.protocol t.E.diam;
+  List.iter (fun (label, time) -> Fmt.pr "  %6.2f Δ  %s@." time label) t.E.events
+
+let fig8_fig9 () =
+  section "E1 / Figure 8 — Herlihy: sequential deploy and redeem phases";
+  Fmt.pr "Paper: Diam(D) sequential deployments then Diam(D) sequential@.";
+  Fmt.pr "redemptions; total 2*Diam(D)*Δ.@.@.";
+  print_timeline (E.fig8 ());
+  section "E2 / Figure 9 — AC3WN: all contracts in parallel";
+  Fmt.pr "Paper: four Δ-long phases — SCw deployment, parallel contract@.";
+  Fmt.pr "deployment, SCw state change, parallel redemption; total 4*Δ.@.@.";
+  print_timeline (E.fig9 ())
+
+(* --- E3: Figure 10 — latency vs diameter ----------------------------------- *)
+
+let fig10 () =
+  section "E3 / Figure 10 — AC2T latency (in Δ) vs graph diameter";
+  Fmt.pr "Paper: Herlihy = 2*Diam(D), AC3WN = 4 (constant).@.@.";
+  Fmt.pr "  Diam | Herlihy model | Herlihy measured | AC3WN model | AC3WN measured@.";
+  Fmt.pr "  -----+---------------+------------------+-------------+---------------@.";
+  List.iter
+    (fun (r : E.latency_row) ->
+      Fmt.pr "  %4d | %13.1f | %16s | %11.1f | %s@." r.E.diam r.E.herlihy_model
+        (opt_delta r.E.herlihy_measured) r.E.ac3wn_model (opt_delta r.E.ac3wn_measured))
+    (E.fig10 ())
+
+(* --- E4: Sec 6.2 — cost overhead --------------------------------------------- *)
+
+let cost () =
+  section "E4 / Sec 6.2 — monetary cost: N*(fd+ffc) vs (N+1)*(fd+ffc)";
+  Fmt.pr "Paper: AC3WN pays for one extra contract (SCw) and one extra call;@.";
+  Fmt.pr "overhead ratio is exactly 1/N.@.@.";
+  Fmt.pr "  N | Herlihy fees | AC3WN fees | overhead measured | overhead model (1/N)@.";
+  Fmt.pr "  --+--------------+------------+-------------------+---------------------@.";
+  List.iter
+    (fun (r : E.cost_row) ->
+      Fmt.pr "  %d | %12Ld | %10Ld | %17.3f | %1.3f@." r.E.n_contracts r.E.herlihy_fee
+        r.E.ac3wn_fee r.E.overhead_measured r.E.overhead_model)
+    (E.cost_table ());
+  Fmt.pr "@.Dollar cost of the SCw overhead (paper's anchors):@.";
+  List.iter
+    (fun eth_usd ->
+      Fmt.pr "  ether at $%3.0f => SCw deploy + call ~ $%.2f@." eth_usd
+        (Analysis.scw_overhead_usd ~eth_usd))
+    [ 300.0; 140.0 ]
+
+(* --- E5: Sec 6.3 — witness choice and 51% attacks ------------------------------ *)
+
+let depth () =
+  section "E5 / Sec 6.3 — choosing d: required depth and 51% attack races";
+  Fmt.pr "Paper rule: d > Va*dh/Ch (Bitcoin witness: dh = 6/h, Ch = $300K/h).@.";
+  Fmt.pr "Paper example: Va = $1M => d > 20.@.@.";
+  Fmt.pr "  asset value Va | required d@.";
+  Fmt.pr "  ---------------+-----------@.";
+  List.iter
+    (fun (r : E.depth_row) -> Fmt.pr "  $%12.0f | %d@." r.E.va r.E.required_d)
+    (E.depth_table ());
+  Fmt.pr "@.Private-fork race, q = 0.3 adversary (Monte Carlo vs analytic):@.";
+  Fmt.pr "   d | success rate | analytic (q/p)^(d+1) | mean rental cost@.";
+  Fmt.pr "  ---+--------------+----------------------+-----------------@.";
+  List.iter
+    (fun (r : Attack.estimate) ->
+      Fmt.pr "  %2d | %12.3f | %20.3f | $%.0f@." r.Attack.d r.Attack.success_rate
+        r.Attack.analytic r.Attack.mean_cost_usd)
+    (E.attack_table ());
+  let flipped, still_active, _ = Attack.run_reorg_demo ~fork_depth:4 ~seed:17 () in
+  Fmt.pr "@.Concrete reorg demo (real chain store, fork depth 4): tip flipped = %b,@." flipped;
+  Fmt.pr "buried decision still on active chain = %b.@." still_active
+
+(* --- E6: Table 1 + Sec 6.4 — throughput ------------------------------------------ *)
+
+let table1 () =
+  section "E6 / Table 1 — throughput of the top-4 chains (tps)";
+  Fmt.pr "  chain        | paper tps | configured | measured on simulator@.";
+  Fmt.pr "  -------------+-----------+------------+----------------------@.";
+  List.iter
+    (fun (r : E.tps_row) ->
+      Fmt.pr "  %-12s | %9.0f | %10.1f | %.1f@." r.E.chain r.E.paper_tps r.E.configured_tps
+        r.E.measured_tps)
+    (E.table1 ());
+  Fmt.pr "@.Sec 6.4 — AC2T throughput = min over involved chains (witness incl.):@.";
+  List.iter
+    (fun (r : E.combo_row) ->
+      Fmt.pr "  %s witnessed by %s => %.0f tps@."
+        (String.concat " x " r.E.chains)
+        r.E.witness r.E.expected_min)
+    (E.throughput_combos ());
+  Fmt.pr "  (paper's example: Ethereum x Litecoin witnessed by Bitcoin => 7 tps)@."
+
+(* --- E7: Figure 7 — complex graphs ------------------------------------------------- *)
+
+let fig7 () =
+  section "E7 / Figure 7 — cyclic and disconnected AC2T graphs";
+  Fmt.pr "Paper: single-leader protocols fail on these; AC3WN commits both.@.@.";
+  Fmt.pr "  graph               | shape        | Herlihy            | AC3WN@.";
+  Fmt.pr "  --------------------+--------------+--------------------+------------------@.";
+  List.iter
+    (fun (r : E.fig7_row) ->
+      Fmt.pr "  %-19s | %-12s | %-18s | committed=%b atomic=%b@." r.E.name
+        (Fmt.str "%a" Ac2t.pp_shape r.E.shape)
+        (if String.length r.E.herlihy_verdict > 18 then String.sub r.E.herlihy_verdict 0 18
+         else r.E.herlihy_verdict)
+        r.E.ac3wn_committed r.E.ac3wn_atomic)
+    (E.fig7 ())
+
+(* --- E8: Sec 1 — crash failures ------------------------------------------------------ *)
+
+let crash () =
+  section "E8 / Sec 1 — crash failure: Bob crashes as the secret is revealed";
+  Fmt.pr "Paper: hashlock/timelock protocols violate all-or-nothing atomicity;@.";
+  Fmt.pr "AC3WN does not (the decision waits on chain).@.@.";
+  List.iter
+    (fun (r : E.crash_row) ->
+      Fmt.pr "  %-26s atomic=%-5b  %s@." r.E.protocol r.E.atomic r.E.outcome)
+    (E.crash_experiment ())
+
+(* --- E9: Lemma 5.3 — forks in the witness network ------------------------------------- *)
+
+let forks () =
+  section "E9 / Lemma 5.3 — conflicting decisions under witness-network forks";
+  Fmt.pr "A full witness-network partition carries RDauth on one side and RFauth@.";
+  Fmt.pr "on the other; atomicity can only break if BOTH get buried at depth d@.";
+  Fmt.pr "before the fork heals. The rate falls off sharply with d:@.@.";
+  Fmt.pr "   d | trials | both buried | rate@.";
+  Fmt.pr "  ---+--------+-------------+------@.";
+  List.iter
+    (fun (r : E.fork_row) ->
+      Fmt.pr "  %2d | %6d | %11d | %.2f@." r.E.d r.E.trials r.E.conflicting_decisions_buried
+        r.E.rate)
+    (E.fork_table ())
+
+(* --- E10: Sec 5.2 — scalability via independent witness networks ----------------------- *)
+
+let scalability () =
+  section "E10 / Sec 5.2 — concurrent AC2Ts, shared vs independent witnesses";
+  Fmt.pr "Paper: atomicity coordination is embarrassingly parallel — different@.";
+  Fmt.pr "witness networks can serve different AC2Ts, so concurrency does not@.";
+  Fmt.pr "degrade latency.@.@.";
+  Fmt.pr "  concurrent AC2Ts | witness        | all committed | mean latency (Δ)@.";
+  Fmt.pr "  -----------------+----------------+---------------+-----------------@.";
+  List.iter
+    (fun (r : E.scalability_row) ->
+      Fmt.pr "  %16d | %-14s | %13b | %.2f@." r.E.concurrent
+        (if r.E.shared_witness then "shared" else "one per AC2T")
+        r.E.all_committed r.E.mean_latency_delta)
+    (E.scalability ())
+
+(* --- E11: Sec 4.2 motivation — witness availability ------------------------------------- *)
+
+let availability () =
+  section "E11 / Sec 4.2 — witness failure: Trent vs a witness-network miner";
+  Fmt.pr "Paper: the centralized witness may fail or be DoS'd; a permissionless@.";
+  Fmt.pr "witness network has no such single point of failure.@.@.";
+  List.iter
+    (fun (r : E.availability_row) ->
+      Fmt.pr "  %-6s under '%s': %s@." r.E.protocol r.E.witness_failure r.E.result)
+    (E.availability ())
+
+(* --- A1: Sec 4.3 — evidence-validation strategies -------------------------------------- *)
+
+let evidence () =
+  section "A1 / Sec 4.3 — evidence validation strategies (ablation)";
+  Fmt.pr "The paper's proposal (in-contract header evidence) vs the two strawmen.@.";
+  Fmt.pr "In-contract validation costs grow with the header span; SPV and full@.";
+  Fmt.pr "replication are cheap but demand per-chain infrastructure at every miner.@.@.";
+  Fmt.pr "  headers | bundle bytes | in-contract (us) | SPV (us) | full replica (us)@.";
+  Fmt.pr "  --------+--------------+------------------+----------+------------------@.";
+  List.iter
+    (fun (r : E.evidence_row) ->
+      Fmt.pr "  %7d | %12d | %16.1f | %8.1f | %.1f@." r.E.headers_spanned r.E.bundle_bytes
+        r.E.in_contract_us r.E.spv_us r.E.full_replica_us)
+    (E.evidence_ablation ())
+
+(* --- A2: decision-depth ablation ---------------------------------------------------------- *)
+
+let depth_latency () =
+  section "A2 / ablation — decision depth d vs AC3WN latency";
+  Fmt.pr "Sec 6.3 chooses d for safety; this is what each choice costs: the@.";
+  Fmt.pr "commit decision must be buried under d witness blocks before anyone@.";
+  Fmt.pr "redeems, so latency grows with d (1 Δ = %d blocks here).@.@." E.confirm_depth;
+  Fmt.pr "   d | committed | latency (Δ)@.";
+  Fmt.pr "  ---+-----------+------------@.";
+  List.iter
+    (fun (r : E.depth_latency_row) ->
+      Fmt.pr "  %2d | %9b | %.2f@." r.E.depth r.E.committed r.E.latency_delta)
+    (E.depth_latency ())
+
+(* --- Bechamel micro-benchmarks: one per table/figure kernel ------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  (* fig8 kernel: HTLC hashlock validation. *)
+  let secret = "bench secret" in
+  let hashlock = Ac3_contract.Htlc.hashlock_of_secret secret in
+  let fig8_kernel =
+    Test.make ~name:"fig8:htlc_hashlock_check"
+      (Staged.stage (fun () ->
+           ignore (String.equal (Ac3_crypto.Sha256.digest secret) hashlock)))
+  in
+  (* fig9/fig10 kernel: full cross-chain evidence verification. *)
+  let who = Keys.create "bench-evidence" in
+  let params =
+    Params.make "bench" ~pow_bits:4 ~confirm_depth:2
+      ~premine:[ (Keys.address who, Amount.of_int 10_000_000) ]
+  in
+  let registry = Ac3_contract.Registry.standard () in
+  let store = Store.create ~params ~registry in
+  let target = Pow.target_of_bits 4 in
+  let mine txs =
+    let parent = Store.tip store in
+    let height = parent.Block.header.Block.height + 1 in
+    let fees = Amount.sum (List.map (fun (tx : Tx.t) -> tx.Tx.fee) txs) in
+    let cb =
+      Tx.coinbase ~chain:"bench" ~height ~miner_addr:(Keys.address who)
+        ~reward:Amount.(params.Params.block_reward + fees)
+    in
+    let b =
+      Block.mine ~chain:"bench" ~height ~parent:(Block.hash parent) ~time:(float_of_int height)
+        ~target ~txs:(cb :: txs)
+    in
+    ignore (Store.add_block store b)
+  in
+  let op, (o : Tx.output) = List.hd (Ledger.utxos_of (Store.ledger store) (Keys.address who)) in
+  let tx =
+    Tx.make ~chain:"bench" ~inputs:[ (op, who) ]
+      ~outputs:[ { Tx.addr = Keys.address who; amount = Amount.(o.amount - params.Params.transfer_fee) } ]
+      ~fee:params.Params.transfer_fee ~nonce:1L ()
+  in
+  mine [ tx ];
+  for _ = 1 to 6 do
+    mine []
+  done;
+  let checkpoint = (Store.genesis store).Block.header in
+  let ev =
+    match Ac3_contract.Evidence.build ~store ~checkpoint ~txid:(Tx.txid tx) with
+    | Ok ev -> ev
+    | Error e -> failwith e
+  in
+  let fig10_kernel =
+    Test.make ~name:"fig10:evidence_verify"
+      (Staged.stage (fun () ->
+           ignore (Ac3_contract.Evidence.verify ~checkpoint ~depth:4 ev)))
+  in
+  (* cost kernel: contract deployment transaction construction + signing. *)
+  let cost_kernel =
+    let signer = Keys.create "bench-signer" ~height:12 in
+    let outpoint = Outpoint.create ~txid:(Ac3_crypto.Sha256.digest "bench") ~index:0 in
+    Test.make ~name:"cost:deploy_tx_sign"
+      (Staged.stage (fun () ->
+           ignore
+             (Tx.make ~chain:"bench" ~inputs:[ (outpoint, signer) ] ~outputs:[]
+                ~payload:(Tx.Deploy { code_id = "htlc"; args = Value.Unit; deposit = Amount.zero })
+                ~fee:Amount.zero ~nonce:0L ())))
+  in
+  (* depth kernel: one 51%-attack race. *)
+  let depth_kernel =
+    let rng = Ac3_sim.Rng.create 4242 in
+    Test.make ~name:"depth:attack_race"
+      (Staged.stage (fun () ->
+           ignore (Attack.race rng ~q:0.3 ~d:6 ~block_interval:600.0 ~give_up:200)))
+  in
+  (* table1 kernel: assemble + validate a 100-tx block worth of transfers. *)
+  let table1_kernel =
+    let spender = Keys.create "bench-tps" in
+    let n = 100 in
+    let premine = List.init n (fun _ -> (Keys.address spender, Amount.of_int 1_000_000)) in
+    let params =
+      Params.make "bench-tps" ~pow_bits:0 ~block_capacity:n ~verify_signatures:false ~premine
+    in
+    let store = Store.create ~params ~registry in
+    let cb_txid = Tx.txid (List.hd (Store.genesis store).Block.txs) in
+    let fee = params.Params.transfer_fee in
+    let txs =
+      List.init n (fun i ->
+          Tx.make_unsigned ~chain:"bench-tps"
+            ~inputs:[ (Outpoint.create ~txid:cb_txid ~index:i, Keys.public spender) ]
+            ~outputs:[ { Tx.addr = Keys.address spender; amount = Amount.(Amount.of_int 1_000_000 - fee) } ]
+            ~fee ~nonce:(Int64.of_int i) ())
+    in
+    Test.make ~name:"table1:block_of_100_txs"
+      (Staged.stage (fun () ->
+           ignore
+             (Ledger.select_valid (Store.ledger store) ~block_height:1 ~block_time:1.0 txs)))
+  in
+  (* fig7 kernel: graph analysis on a 16-vertex ring. *)
+  let fig7_kernel =
+    let ids = Ac3_core.Scenarios.identities 16 in
+    let chains = List.init 16 (fun i -> Printf.sprintf "c%d" i) in
+    let graph = Ac3_core.Scenarios.ring_graph ~chains ids ~timestamp:0.0 in
+    Test.make ~name:"fig7:classify_and_diameter"
+      (Staged.stage (fun () ->
+           ignore (Ac2t.classify graph);
+           ignore (Ac2t.diameter graph)))
+  in
+  (* crash kernel: MSS verify (the cost of checking any protocol
+     signature). *)
+  let crash_kernel =
+    let signer = Keys.create "bench-crash-signer" ~height:6 in
+    let pk = Keys.public signer in
+    let s = Keys.sign signer "m" in
+    Test.make ~name:"crash:mss_verify" (Staged.stage (fun () -> ignore (Keys.verify pk "m" s)))
+  in
+  (* forks kernel: multisigned-graph verification (SCw registration). *)
+  let forks_kernel =
+    let ids = Ac3_core.Scenarios.identities 3 in
+    let chains = [ "c0"; "c1"; "c2" ] in
+    let graph = Ac3_core.Scenarios.ring_graph ~chains ids ~timestamp:0.0 in
+    let ms = Ac2t.multisign graph ids in
+    Test.make ~name:"forks:verify_multisig"
+      (Staged.stage (fun () -> ignore (Ac2t.verify_multisig graph ms)))
+  in
+  [
+    fig8_kernel;
+    fig10_kernel;
+    cost_kernel;
+    depth_kernel;
+    table1_kernel;
+    fig7_kernel;
+    crash_kernel;
+    forks_kernel;
+  ]
+
+let run_bechamel () =
+  section "Bechamel micro-benchmarks (one kernel per table/figure)";
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Fmt.pr "  %-32s %14.1f ns/op@." name est
+          | _ -> Fmt.pr "  %-32s (no estimate)@." name)
+        stats)
+    (List.map (fun t -> Test.make_grouped ~name:"" ~fmt:"%s%s" [ t ]) (bechamel_tests ()))
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  Fmt.pr "AC3WN reproduction benchmark harness (seeded, deterministic).@.";
+  Fmt.pr "Δ = %.0f virtual seconds (confirm depth %d x %.0f s blocks) in protocol runs.@."
+    E.delta E.confirm_depth E.block_interval;
+  fig8_fig9 ();
+  fig10 ();
+  cost ();
+  depth ();
+  table1 ();
+  fig7 ();
+  crash ();
+  if not quick then forks ();
+  if not quick then scalability ();
+  availability ();
+  evidence ();
+  if not quick then depth_latency ();
+  run_bechamel ();
+  Fmt.pr "@.Done.@."

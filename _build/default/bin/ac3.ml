@@ -1,0 +1,219 @@
+(* ac3: command-line driver for the AC3WN reproduction.
+
+     ac3 swap     — execute an AC2T on the simulator with a chosen protocol
+     ac3 analyze  — print the paper's analytical models (Sec 6)
+     ac3 attack   — run 51% witness-attack races (Sec 6.3)
+
+   Examples:
+     dune exec bin/ac3.exe -- swap --protocol ac3wn --scenario ring --parties 4
+     dune exec bin/ac3.exe -- swap --protocol nolan --crash
+     dune exec bin/ac3.exe -- analyze
+     dune exec bin/ac3.exe -- attack -q 0.35 --trials 500 *)
+
+open Cmdliner
+module U = Ac3_core.Universe
+module S = Ac3_core.Scenarios
+module A = Ac3_core.Ac3wn
+module H = Ac3_core.Herlihy
+module N = Ac3_core.Nolan
+module T = Ac3_core.Ac3tw
+module P = Ac3_core.Participant
+module Analysis = Ac3_core.Analysis
+module Attack = Ac3_core.Attack
+module Ac2t = Ac3_contract.Ac2t
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+(* --- swap ------------------------------------------------------------------ *)
+
+type protocol = Ac3wn | Herlihy | Nolan | Ac3tw
+
+type scenario = Two_party | Ring | Cyclic | Disconnected | Supply_chain
+
+let scenario_setup ~scenario ~parties ~seed =
+  match scenario with
+  | Two_party ->
+      let ids = S.identities 2 in
+      let chains = [ "btc"; "eth" ] in
+      let u, ps = S.make_universe ~seed ~chains ids () in
+      U.run_until u 100.0;
+      (u, ps, S.two_party_graph ~chain1:"btc" ~chain2:"eth" ids ~timestamp:(U.now u))
+  | Ring ->
+      let n = max 2 parties in
+      let ids = S.identities n in
+      let chains = List.init n (fun i -> Printf.sprintf "chain%d" i) in
+      let u, ps = S.make_universe ~seed ~chains ids () in
+      U.run_until u 100.0;
+      (u, ps, S.ring_graph ~chains ids ~timestamp:(U.now u))
+  | Cyclic ->
+      let ids = S.identities 3 in
+      let chains = [ "c1"; "c2"; "c3" ] in
+      let u, ps = S.make_universe ~seed ~chains ids () in
+      U.run_until u 100.0;
+      (u, ps, S.cyclic_graph ~chains ids ~timestamp:(U.now u))
+  | Disconnected ->
+      let ids = S.identities 4 in
+      let chains = [ "c1"; "c2"; "c3"; "c4" ] in
+      let u, ps = S.make_universe ~seed ~chains ids () in
+      U.run_until u 100.0;
+      (u, ps, S.disconnected_graph ~chains ids ~timestamp:(U.now u))
+  | Supply_chain ->
+      let ids = S.identities 4 in
+      let chains = [ "payments"; "titles"; "freight" ] in
+      let u, ps = S.make_universe ~seed ~chains ids () in
+      U.run_until u 100.0;
+      (u, ps, S.supply_chain_graph ~chains ids ~timestamp:(U.now u))
+
+let report_outcome ~trace ~outcome ~atomic ~committed ~latency ~delta =
+  Fmt.pr "@.Trace:@.%a@." Ac3_sim.Trace.pp trace;
+  Fmt.pr "Outcome: %a@." Ac3_core.Outcome.pp outcome;
+  Fmt.pr "committed = %b, atomic = %b@." committed atomic;
+  (match latency with
+  | Some l -> Fmt.pr "latency = %.1f virtual s = %.2f Δ@." l (l /. delta)
+  | None -> Fmt.pr "did not complete within the timeout@.");
+  if atomic then 0 else 2
+
+let run_swap protocol scenario parties seed crash verbose =
+  setup_logs verbose;
+  let u, participants, graph = scenario_setup ~scenario ~parties ~seed in
+  Fmt.pr "Graph: %a@." Ac2t.pp graph;
+  Fmt.pr "Shape: %a, Diam(D) = %d@." Ac2t.pp_shape (Ac2t.classify graph) (Ac2t.diameter graph);
+  let delta = U.max_delta u in
+  let crash_bob_hook label =
+    if crash then begin
+      let bob = List.nth participants 1 in
+      [ (label, fun () -> P.crash bob) ]
+    end
+    else []
+  in
+  match protocol with
+  | Ac3wn ->
+      let config =
+        { (A.default_config ~witness_chain:"witness") with A.decision_depth = 4; timeout = 50_000.0 }
+      in
+      let hooks = crash_bob_hook "authorize_redeem_submitted" in
+      (* With AC3WN a crashed participant can recover and still redeem. *)
+      (if crash then
+         ignore
+           (Ac3_sim.Engine.schedule (U.engine u) ~delay:2000.0 (fun () ->
+                P.recover (List.nth participants 1))));
+      let r = A.execute u ~config ~graph ~participants ~hooks () in
+      report_outcome ~trace:r.A.trace ~outcome:r.A.outcome ~atomic:r.A.atomic
+        ~committed:r.A.committed ~latency:r.A.latency ~delta
+  | Herlihy | Nolan -> (
+      let config = { (H.default_config ~delta) with H.timeout = 100_000.0 } in
+      let hooks = crash_bob_hook "redeem:1" in
+      let result =
+        if protocol = Nolan then Ok (N.execute u ~config ~graph ~participants ~hooks ())
+        else H.execute u ~config ~graph ~participants ~hooks ()
+      in
+      match result with
+      | Error e ->
+          Fmt.epr "protocol refused the graph: %s@." e;
+          1
+      | Ok r ->
+          report_outcome ~trace:r.H.trace ~outcome:r.H.outcome ~atomic:r.H.atomic
+            ~committed:r.H.committed ~latency:r.H.latency ~delta)
+  | Ac3tw -> (
+      let trent = Ac3_core.Trent.create u ~name:"trent" in
+      let config = { T.default_config with T.timeout = 50_000.0 } in
+      match T.execute u ~config ~trent ~graph ~participants () with
+      | Error e ->
+          Fmt.epr "error: %s@." e;
+          1
+      | Ok r ->
+          report_outcome ~trace:r.T.trace ~outcome:r.T.outcome ~atomic:r.T.atomic
+            ~committed:r.T.committed ~latency:r.T.latency ~delta)
+
+let protocol_conv =
+  Arg.enum [ ("ac3wn", Ac3wn); ("herlihy", Herlihy); ("nolan", Nolan); ("ac3tw", Ac3tw) ]
+
+let scenario_conv =
+  Arg.enum
+    [
+      ("two-party", Two_party);
+      ("ring", Ring);
+      ("cyclic", Cyclic);
+      ("disconnected", Disconnected);
+      ("supply-chain", Supply_chain);
+    ]
+
+let swap_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv Ac3wn & info [ "protocol"; "p" ] ~doc:"Protocol: ac3wn, herlihy, nolan, ac3tw.")
+  in
+  let scenario =
+    Arg.(value & opt scenario_conv Two_party & info [ "scenario"; "s" ] ~doc:"Scenario graph.")
+  in
+  let parties = Arg.(value & opt int 3 & info [ "parties"; "n" ] ~doc:"Ring size (ring scenario).") in
+  let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let crash =
+    Arg.(value & flag & info [ "crash" ] ~doc:"Crash the second participant at the critical moment.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logs.") in
+  Cmd.v
+    (Cmd.info "swap" ~doc:"Execute an atomic cross-chain transaction on the simulator")
+    Term.(const run_swap $ protocol $ scenario $ parties $ seed $ crash $ verbose)
+
+(* --- analyze ----------------------------------------------------------------- *)
+
+let run_analyze () =
+  Fmt.pr "Sec 6.1 — latency (in Δ):@.";
+  List.iter
+    (fun (diam, h, w) -> Fmt.pr "  Diam=%2d  Herlihy=%5.1f  AC3WN=%.1f@." diam h w)
+    (Analysis.figure10 ~max_diam:10);
+  Fmt.pr "@.Sec 6.2 — cost (fd = 4000, ffc = 2000 chain units):@.";
+  List.iter
+    (fun n ->
+      Fmt.pr "  N=%2d  Herlihy=%8.0f  AC3WN=%8.0f  overhead=1/N=%.3f@." n
+        (Analysis.herlihy_cost ~n ~fd:4000.0 ~ffc:2000.0)
+        (Analysis.ac3wn_cost ~n ~fd:4000.0 ~ffc:2000.0)
+        (Analysis.cost_overhead_ratio ~n))
+    [ 1; 2; 4; 8; 16 ];
+  Fmt.pr "@.Sec 6.3 — required depth (Bitcoin witness):@.";
+  List.iter
+    (fun va ->
+      Fmt.pr "  Va=$%-10.0f d > %d@." va (Analysis.required_depth ~va ~dh:6.0 ~ch:300_000.0))
+    [ 10_000.0; 100_000.0; 1_000_000.0; 10_000_000.0 ];
+  Fmt.pr "@.Table 1 / Sec 6.4 — throughput:@.";
+  List.iter (fun (c, tps) -> Fmt.pr "  %-13s %4.0f tps@." c tps) Analysis.table1;
+  Fmt.pr "  example: ETH x LTC witnessed by BTC => %.0f tps@."
+    (Analysis.paper_example_throughput ());
+  0
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Print the paper's analytical models (Sec 6)")
+    Term.(const run_analyze $ const ())
+
+(* --- attack -------------------------------------------------------------------- *)
+
+let run_attack q trials seed =
+  let rng = Ac3_sim.Rng.create seed in
+  Fmt.pr "51%% rental attack on the witness network: q = %.2f, %d trials/depth@.@." q trials;
+  Fmt.pr "  d | success rate | analytic | mean rental cost@.";
+  Fmt.pr " ---+--------------+----------+-----------------@.";
+  List.iter
+    (fun (r : Attack.estimate) ->
+      Fmt.pr " %2d | %12.3f | %8.3f | $%.0f@." r.Attack.d r.Attack.success_rate r.Attack.analytic
+        r.Attack.mean_cost_usd)
+    (Attack.depth_sweep rng ~q ~depths:[ 0; 1; 2; 4; 6; 10; 20 ] ~block_interval:600.0 ~trials
+       ~cost_per_hour:300_000.0);
+  Fmt.pr "@.Paper's rule of thumb: protecting Va requires d > Va*dh/Ch;@.";
+  Fmt.pr "e.g. Va = $1M on a Bitcoin-like witness => d > %d.@."
+    (Analysis.paper_example_depth ());
+  0
+
+let attack_cmd =
+  let q = Arg.(value & opt float 0.3 & info [ "q" ] ~doc:"Adversary hash-power share (0,1).") in
+  let trials = Arg.(value & opt int 500 & info [ "trials" ] ~doc:"Monte-Carlo trials per depth.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Simulate 51% attacks on the witness network (Sec 6.3)")
+    Term.(const run_attack $ q $ trials $ seed)
+
+let () =
+  let doc = "Atomic commitment across blockchains (AC3WN reproduction)" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "ac3" ~doc) [ swap_cmd; analyze_cmd; attack_cmd ]))

@@ -1,0 +1,1 @@
+examples/atomic_ring.ml: Ac3_contract Ac3_core Fmt List Printf

@@ -1,0 +1,1 @@
+examples/crash_tolerance.ml: Ac3_chain Ac3_core Ac3_sim Amount Fmt List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ac3_chain Ac3_contract Ac3_core Ac3_sim Amount Fmt List

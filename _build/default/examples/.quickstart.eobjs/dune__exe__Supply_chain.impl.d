@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Ac3_contract Ac3_core Fmt

@@ -1,0 +1,1 @@
+examples/witness_outage.ml: Ac3_chain Ac3_core Ac3_sim Array Fmt List Node

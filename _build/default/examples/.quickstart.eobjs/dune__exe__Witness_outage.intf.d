@@ -1,0 +1,1 @@
+examples/witness_outage.mli:

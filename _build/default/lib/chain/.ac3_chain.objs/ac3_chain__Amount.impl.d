@@ -1,0 +1,1 @@
+lib/chain/amount.ml: Ac3_crypto Fmt Int64 List

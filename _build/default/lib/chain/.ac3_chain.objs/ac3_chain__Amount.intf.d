@@ -1,0 +1,1 @@
+lib/chain/amount.mli: Ac3_crypto Format

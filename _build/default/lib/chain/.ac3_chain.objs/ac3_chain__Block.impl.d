@@ -1,0 +1,1 @@
+lib/chain/block.ml: Ac3_crypto Amount Fmt List Pow String Tx

@@ -1,0 +1,1 @@
+lib/chain/block.mli: Ac3_crypto Amount Format Tx

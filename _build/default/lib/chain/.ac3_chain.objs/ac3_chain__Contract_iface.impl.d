@@ -1,0 +1,1 @@
+lib/chain/contract_iface.ml: Ac3_crypto Amount Hashtbl Printf Value

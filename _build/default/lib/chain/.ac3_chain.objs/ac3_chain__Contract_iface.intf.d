@@ -1,0 +1,1 @@
+lib/chain/contract_iface.mli: Ac3_crypto Amount Value

@@ -1,0 +1,1 @@
+lib/chain/ledger.ml: Ac3_crypto Amount Block Contract_iface Fmt Hashtbl List Outpoint Params Printf String Tx Value

@@ -1,0 +1,1 @@
+lib/chain/ledger.mli: Ac3_crypto Amount Block Contract_iface Outpoint Params Tx Value

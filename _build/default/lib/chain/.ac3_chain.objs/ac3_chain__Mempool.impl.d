@@ -1,0 +1,1 @@
+lib/chain/mempool.ml: Hashtbl Int List Tx

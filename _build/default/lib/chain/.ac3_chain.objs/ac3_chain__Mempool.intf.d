@@ -1,0 +1,1 @@
+lib/chain/mempool.mli: Tx

@@ -1,0 +1,1 @@
+lib/chain/miner.ml: Ac3_sim Amount Block Ledger List Mempool Node Params Pow Store Tx

@@ -1,0 +1,1 @@
+lib/chain/miner.mli: Ac3_sim Block Node

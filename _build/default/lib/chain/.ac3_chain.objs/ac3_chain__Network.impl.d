@@ -1,0 +1,1 @@
+lib/chain/network.ml: Ac3_sim Block Hashtbl List Option Printf String Tx

@@ -1,0 +1,1 @@
+lib/chain/network.mli: Ac3_sim Block Tx

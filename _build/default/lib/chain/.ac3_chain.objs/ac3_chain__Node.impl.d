@@ -1,0 +1,1 @@
+lib/chain/node.ml: Ac3_crypto Ac3_sim Block Hashtbl Ledger List Logs Mempool Network Store Tx

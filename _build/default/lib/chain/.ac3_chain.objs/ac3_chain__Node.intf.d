@@ -1,0 +1,1 @@
+lib/chain/node.mli: Ac3_sim Amount Block Contract_iface Ledger Mempool Network Params Store Tx

@@ -1,0 +1,1 @@
+lib/chain/outpoint.ml: Ac3_crypto Fmt Hashtbl Int Map String

@@ -1,0 +1,1 @@
+lib/chain/outpoint.mli: Ac3_crypto Format Hashtbl Map

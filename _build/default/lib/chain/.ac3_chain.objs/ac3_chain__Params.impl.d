@@ -1,0 +1,1 @@
+lib/chain/params.ml: Amount Fmt Tx

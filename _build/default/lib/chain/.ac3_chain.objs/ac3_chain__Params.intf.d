@@ -1,0 +1,1 @@
+lib/chain/params.mli: Amount Format Tx

@@ -1,0 +1,1 @@
+lib/chain/pow.ml: Ac3_crypto Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/chain/spv.ml: Block Hashtbl List Option Pow String

@@ -1,0 +1,1 @@
+lib/chain/spv.mli: Ac3_crypto Block

@@ -1,0 +1,1 @@
+lib/chain/store.ml: Ac3_crypto Block Contract_iface Hashtbl Ledger List Option Params Pow Printf String Tx

@@ -1,0 +1,1 @@
+lib/chain/store.mli: Block Contract_iface Ledger Params Value

@@ -1,0 +1,1 @@
+lib/chain/tx.ml: Ac3_crypto Amount Array Fmt Int64 List Outpoint Printf Value

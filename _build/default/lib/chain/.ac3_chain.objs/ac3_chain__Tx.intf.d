@@ -1,0 +1,1 @@
+lib/chain/tx.mli: Ac3_crypto Amount Format Outpoint Value

@@ -1,0 +1,1 @@
+lib/chain/value.ml: Ac3_crypto Fmt Int64 List Printf Result String

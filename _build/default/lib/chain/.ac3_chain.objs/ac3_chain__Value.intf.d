@@ -1,0 +1,1 @@
+lib/chain/value.mli: Ac3_crypto Format

@@ -1,0 +1,1 @@
+lib/chain/wallet.ml: Ac3_crypto Amount Contract_iface Int64 Ledger List Node Outpoint Params Printf Tx

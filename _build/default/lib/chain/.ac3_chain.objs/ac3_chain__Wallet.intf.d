@@ -1,0 +1,1 @@
+lib/chain/wallet.mli: Ac3_crypto Amount Node Tx Value

@@ -1,0 +1,46 @@
+(* Asset amounts: non-negative 64-bit integers in the chain's smallest
+   unit (satoshi / wei analogue). Arithmetic checks for overflow; the
+   ledger's conservation invariants depend on it. *)
+
+module Codec = Ac3_crypto.Codec
+
+type t = int64
+
+exception Overflow
+
+let zero = 0L
+
+let of_int64 v = if Int64.compare v 0L < 0 then invalid_arg "Amount.of_int64: negative" else v
+
+let of_int v = of_int64 (Int64.of_int v)
+
+let to_int64 v = v
+
+let is_zero v = Int64.equal v 0L
+
+let compare = Int64.compare
+
+let equal = Int64.equal
+
+let ( + ) a b =
+  let s = Int64.add a b in
+  if Int64.compare s a < 0 then raise Overflow else s
+
+let ( - ) a b = if Int64.compare a b < 0 then raise Overflow else Int64.sub a b
+
+let sum l = List.fold_left ( + ) zero l
+
+let scale a n =
+  if n < 0 then invalid_arg "Amount.scale: negative factor";
+  let r = Int64.mul a (Int64.of_int n) in
+  if n > 0 && Int64.compare (Int64.div r (Int64.of_int n)) a <> 0 then raise Overflow else r
+
+let pp ppf v = Fmt.pf ppf "%Ld" v
+
+let to_string v = Int64.to_string v
+
+let encode w v = Codec.Writer.i64 w v
+
+let decode r =
+  let v = Codec.Reader.i64 r in
+  if Int64.compare v 0L < 0 then raise (Codec.Decode_error "Amount: negative") else v

@@ -1,0 +1,43 @@
+(** Non-negative asset amounts in a chain's smallest unit.
+
+    All arithmetic raises {!Overflow} instead of wrapping or going
+    negative, so ledger conservation checks cannot be fooled. *)
+
+type t = int64
+
+exception Overflow
+
+val zero : t
+
+(** Raises [Invalid_argument] on negative input. *)
+val of_int64 : int64 -> t
+
+val of_int : int -> t
+
+val to_int64 : t -> int64
+
+val is_zero : t -> bool
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Checked addition; raises {!Overflow}. *)
+val ( + ) : t -> t -> t
+
+(** Checked subtraction; raises {!Overflow} if the result would be
+    negative. *)
+val ( - ) : t -> t -> t
+
+val sum : t list -> t
+
+(** [scale a n] is [a * n] with overflow checking. *)
+val scale : t -> int -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val encode : Ac3_crypto.Codec.Writer.t -> t -> unit
+
+val decode : Ac3_crypto.Codec.Reader.t -> t

@@ -1,0 +1,60 @@
+(* Mempool: transactions waiting for inclusion, in arrival order.
+
+   Admission re-validates against the node's current ledger; blocks take
+   transactions oldest-first up to the chain's capacity (which is how the
+   simulator models per-chain throughput limits). *)
+
+type entry = { tx : Tx.t; txid : string; seq : int }
+
+(* Removal is lazy: the index is authoritative and dead entries are
+   swept out of the list only when it is next traversed, keeping
+   [remove] O(1) even for block-sized batches. *)
+type t = {
+  mutable entries : entry list; (* newest first; may contain dead entries *)
+  mutable entries_len : int; (* length of [entries], dead included *)
+  index : (string, unit) Hashtbl.t;
+  mutable next_seq : int;
+}
+
+let create () = { entries = []; entries_len = 0; index = Hashtbl.create 64; next_seq = 0 }
+
+let size t = Hashtbl.length t.index
+
+let mem t txid = Hashtbl.mem t.index txid
+
+let sweep t =
+  if t.entries_len > 16 && t.entries_len > 2 * Hashtbl.length t.index then begin
+    t.entries <- List.filter (fun e -> Hashtbl.mem t.index e.txid) t.entries;
+    t.entries_len <- List.length t.entries
+  end
+
+let add t tx =
+  let txid = Tx.txid tx in
+  if Hashtbl.mem t.index txid then Error "already in mempool"
+  else begin
+    Hashtbl.replace t.index txid ();
+    t.entries <- { tx; txid; seq = t.next_seq } :: t.entries;
+    t.entries_len <- t.entries_len + 1;
+    t.next_seq <- t.next_seq + 1;
+    Ok ()
+  end
+
+let remove t txid =
+  Hashtbl.remove t.index txid;
+  sweep t
+
+(* Oldest-first candidates for the next block. The caller filters out
+   transactions that no longer apply. *)
+let candidates t ~limit =
+  let live = List.filter (fun e -> Hashtbl.mem t.index e.txid) t.entries in
+  t.entries <- live;
+  t.entries_len <- List.length live;
+  let sorted = List.sort (fun a b -> Int.compare a.seq b.seq) live in
+  let rec take n = function
+    | [] -> []
+    | e :: rest -> if n = 0 then [] else e.tx :: take (n - 1) rest
+  in
+  take limit sorted
+
+let to_list t =
+  List.filter_map (fun e -> if Hashtbl.mem t.index e.txid then Some e.tx else None) t.entries

@@ -1,0 +1,20 @@
+(** Mempool: pending transactions in arrival order. *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+
+val mem : t -> string -> bool
+
+(** Insert; [Error] on duplicates. Ledger-level validity is the node's
+    responsibility. *)
+val add : t -> Tx.t -> (unit, string) result
+
+val remove : t -> string -> unit
+
+(** Up to [limit] transactions, oldest first. *)
+val candidates : t -> limit:int -> Tx.t list
+
+val to_list : t -> Tx.t list

@@ -1,0 +1,104 @@
+(* Simulated gossip network for one blockchain (plus its clients).
+
+   Message delivery is scheduled on the discrete-event engine with a
+   uniformly random per-message latency. Partitions assign endpoints to
+   groups; messages crossing group boundaries are dropped until the
+   partition heals — exactly the failure the paper argues breaks
+   hashlock/timelock protocols. *)
+
+module Engine = Ac3_sim.Engine
+module Rng = Ac3_sim.Rng
+
+type message =
+  | Block_msg of Block.t
+  | Tx_msg of Tx.t
+  (* Ancestor sync: a node missing [hash]'s block asks its peers; anyone
+     holding it answers with a direct [Block_msg]. *)
+  | Block_request of { requester : string; hash : string }
+
+type endpoint = { id : string; deliver : message -> unit }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  mutable endpoints : endpoint list;
+  mutable min_delay : float;
+  mutable max_delay : float;
+  (* endpoint id -> partition group; endpoints absent from the table are in
+     the implicit group -1 (all connected to each other). *)
+  partition_groups : (string, int) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create ?(min_delay = 0.05) ?(max_delay = 0.5) ~engine ~rng () =
+  if min_delay < 0.0 || max_delay < min_delay then invalid_arg "Network.create: bad delays";
+  {
+    engine;
+    rng;
+    endpoints = [];
+    min_delay;
+    max_delay;
+    partition_groups = Hashtbl.create 16;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let set_delays t ~min_delay ~max_delay =
+  if min_delay < 0.0 || max_delay < min_delay then invalid_arg "Network.set_delays";
+  t.min_delay <- min_delay;
+  t.max_delay <- max_delay
+
+let register t ~id deliver =
+  if List.exists (fun e -> String.equal e.id id) t.endpoints then
+    invalid_arg (Printf.sprintf "Network.register: duplicate endpoint %S" id);
+  t.endpoints <- { id; deliver } :: t.endpoints
+
+let group_of t id = Option.value ~default:(-1) (Hashtbl.find_opt t.partition_groups id)
+
+let reachable t ~from ~to_ = group_of t from = group_of t to_
+
+(* Partition the network into the given groups. Unlisted endpoints share
+   the implicit group. [heal] restores full connectivity. *)
+let partition t groups =
+  Hashtbl.reset t.partition_groups;
+  List.iteri (fun g ids -> List.iter (fun id -> Hashtbl.replace t.partition_groups id g) ids) groups
+
+let heal t = Hashtbl.reset t.partition_groups
+
+(* Isolate a single endpoint from everyone else. *)
+let isolate t id = Hashtbl.replace t.partition_groups id (1000000 + Hashtbl.hash id)
+
+let reconnect t id = Hashtbl.remove t.partition_groups id
+
+let deliver_later t endpoint msg =
+  let delay = Rng.uniform_range t.rng ~lo:t.min_delay ~hi:t.max_delay in
+  ignore (Engine.schedule t.engine ~delay (fun () -> endpoint.deliver msg))
+
+let send t ~from ~to_ msg =
+  t.sent <- t.sent + 1;
+  match List.find_opt (fun e -> String.equal e.id to_) t.endpoints with
+  | None -> t.dropped <- t.dropped + 1
+  | Some e ->
+      if reachable t ~from ~to_ then begin
+        t.delivered <- t.delivered + 1;
+        deliver_later t e msg
+      end
+      else t.dropped <- t.dropped + 1
+
+let broadcast t ~from msg =
+  List.iter
+    (fun e ->
+      if not (String.equal e.id from) then begin
+        t.sent <- t.sent + 1;
+        if reachable t ~from ~to_:e.id then begin
+          t.delivered <- t.delivered + 1;
+          deliver_later t e msg
+        end
+        else t.dropped <- t.dropped + 1
+      end)
+    t.endpoints
+
+let stats t = (t.sent, t.delivered, t.dropped)

@@ -1,0 +1,122 @@
+(* A full node: block store + mempool + gossip handling.
+
+   Nodes validate and relay blocks and transactions, maintain their
+   mempool across reorganizations, and can crash (stop processing
+   messages) and recover — the failure model of the paper's Sec 1. *)
+
+module Engine = Ac3_sim.Engine
+module Hex = Ac3_crypto.Hex
+
+let src = Logs.Src.create "ac3.node" ~doc:"blockchain node"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  id : string;
+  engine : Engine.t;
+  network : Network.t;
+  store : Store.t;
+  mempool : Mempool.t;
+  mutable crashed : bool;
+  (* Everything seen (even invalid), to stop relay loops. *)
+  seen : (string, unit) Hashtbl.t;
+}
+
+let rec create ~engine ~network ~params ~registry id =
+  let store = Store.create ~params ~registry in
+  let mempool = Mempool.create () in
+  let t = { id; engine; network; store; mempool; crashed = false; seen = Hashtbl.create 256 } in
+  (* Keep the mempool consistent across reorgs: drop what got mined,
+     resurrect what fell out. *)
+  Store.set_on_reorg store (fun ~connected ~disconnected ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter (fun tx -> Mempool.remove mempool (Tx.txid tx)) b.Block.txs)
+        connected;
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun tx -> if not (Tx.is_coinbase tx) then ignore (Mempool.add mempool tx))
+            b.Block.txs)
+        disconnected);
+  Network.register network ~id (fun msg ->
+      if not t.crashed then
+        match msg with
+        | Network.Block_msg b -> ignore (handle_block t b)
+        | Network.Tx_msg tx -> ignore (handle_tx t tx)
+        | Network.Block_request { requester; hash } -> (
+            match Store.find t.store hash with
+            | Some b -> Network.send t.network ~from:t.id ~to_:requester (Network.Block_msg b)
+            | None -> ()));
+  t
+
+and handle_block t block =
+  let hash = Block.hash block in
+  if Hashtbl.mem t.seen hash then `Known
+  else begin
+    Hashtbl.replace t.seen hash ();
+    match Store.add_block t.store block with
+    | Store.Added _ ->
+        Network.broadcast t.network ~from:t.id (Network.Block_msg block);
+        `Accepted
+    | Store.Orphaned ->
+        (* Relay, and ask peers for the missing ancestor so a node that was
+           crashed or partitioned can catch up. *)
+        Network.broadcast t.network ~from:t.id (Network.Block_msg block);
+        Network.broadcast t.network ~from:t.id
+          (Network.Block_request { requester = t.id; hash = block.Block.header.Block.parent });
+        `Accepted
+    | Store.Duplicate -> `Known
+    | Store.Invalid reason ->
+        Log.debug (fun m -> m "%s: rejected block %s: %s" t.id (Hex.short hash) reason);
+        `Rejected reason
+  end
+
+and handle_tx t tx =
+  let txid = Tx.txid tx in
+  if Hashtbl.mem t.seen txid then `Known
+  else begin
+    Hashtbl.replace t.seen txid ();
+    match Ledger.check_tx (Store.ledger t.store) ~block_time:(Engine.now t.engine) tx with
+    | Ok () ->
+        ignore (Mempool.add t.mempool tx);
+        Network.broadcast t.network ~from:t.id (Network.Tx_msg tx);
+        `Accepted
+    | Error reason ->
+        Log.debug (fun m -> m "%s: rejected tx %s: %s" t.id (Hex.short txid) reason);
+        `Rejected reason
+  end
+
+let id t = t.id
+
+let store t = t.store
+
+let mempool t = t.mempool
+
+let ledger t = Store.ledger t.store
+
+let params t = Store.params t.store
+
+let is_crashed t = t.crashed
+
+let crash t = t.crashed <- true
+
+let recover t = t.crashed <- false
+
+(* Local submission (e.g. by a wallet attached to this node). *)
+let submit_tx t tx = match handle_tx t tx with `Rejected r -> Error r | `Accepted | `Known -> Ok ()
+
+let submit_block t block =
+  match handle_block t block with `Rejected r -> Error r | `Accepted | `Known -> Ok ()
+
+(* --- Queries used by participants and witnesses ---------------------- *)
+
+let confirmations t txid = Store.confirmations t.store txid
+
+let find_tx t txid = Store.find_tx t.store txid
+
+let contract t cid = Ledger.contract (ledger t) cid
+
+let balance_of t addr = Ledger.balance_of (ledger t) addr
+
+let tip_height t = Store.tip_height t.store

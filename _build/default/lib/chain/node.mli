@@ -1,0 +1,48 @@
+(** A full node: block store + mempool + gossip handling, with crash and
+    recovery. *)
+
+type t
+
+(** Create a node and register it on the network under [id]. *)
+val create :
+  engine:Ac3_sim.Engine.t ->
+  network:Network.t ->
+  params:Params.t ->
+  registry:Contract_iface.registry ->
+  string ->
+  t
+
+val id : t -> string
+
+val store : t -> Store.t
+
+val mempool : t -> Mempool.t
+
+(** Ledger at the node's active tip. *)
+val ledger : t -> Ledger.t
+
+val params : t -> Params.t
+
+val is_crashed : t -> bool
+
+(** Stop processing network messages. *)
+val crash : t -> unit
+
+val recover : t -> unit
+
+(** Validate, admit to the mempool, and relay a local transaction. *)
+val submit_tx : t -> Tx.t -> (unit, string) result
+
+(** Insert and relay a locally mined block. *)
+val submit_block : t -> Block.t -> (unit, string) result
+
+(** Depth-based confirmation count for a transaction (0 = unconfirmed). *)
+val confirmations : t -> string -> int
+
+val find_tx : t -> string -> (Block.t * int) option
+
+val contract : t -> string -> Ledger.contract option
+
+val balance_of : t -> string -> Amount.t
+
+val tip_height : t -> int

@@ -1,0 +1,15 @@
+(** Proof of work over 32-byte big-endian targets. *)
+
+(** Target requiring [bits] leading zero bits in the block hash. *)
+val target_of_bits : int -> string
+
+(** [meets_target ~hash ~target] compares as 256-bit big-endian numbers. *)
+val meets_target : hash:string -> target:string -> bool
+
+(** Expected number of hashes to find a block at this target. *)
+val work_of_target : string -> float
+
+(** [mine ~target hash_of_nonce] grinds nonces from 0 until the hash meets
+    the target; returns the winning nonce. Raises [Failure] beyond
+    [max_iters]. *)
+val mine : ?max_iters:int -> target:string -> (int64 -> string) -> int64

@@ -1,0 +1,89 @@
+(* Wallet: an identity attached to a node, with coin selection, change
+   handling, and convenience builders for the three payload kinds.
+
+   Participants in the cross-chain protocols drive their per-chain
+   interactions through wallets. *)
+
+module Keys = Ac3_crypto.Keys
+
+type t = { identity : Keys.t; node : Node.t; mutable nonce : int64 }
+
+let create ~identity ~node = { identity; node; nonce = 0L }
+
+let identity t = t.identity
+
+let node t = t.node
+
+let address t = Keys.address t.identity
+
+let public t = Keys.public t.identity
+
+let balance t = Node.balance_of t.node (address t)
+
+let next_nonce t =
+  let n = t.nonce in
+  t.nonce <- Int64.add n 1L;
+  n
+
+(* Greedy coin selection over the wallet's UTXOs at the node's tip. *)
+let select_coins t ~total =
+  let utxos =
+    (* Deterministic order so runs replay identically. *)
+    List.sort
+      (fun (a, _) (b, _) -> Outpoint.compare a b)
+      (Ledger.utxos_of (Node.ledger t.node) (address t))
+  in
+  let rec pick acc covered = function
+    | _ when Amount.compare covered total >= 0 -> Some (List.rev acc, Amount.(covered - total))
+    | [] -> None
+    | (op, (o : Tx.output)) :: rest -> pick (op :: acc) Amount.(covered + o.amount) rest
+  in
+  pick [] Amount.zero utxos
+
+(* Build and sign a transaction paying [outputs], carrying [payload], with
+   any excess returned to the wallet as change. *)
+let build t ?(payload = Tx.Transfer) ~outputs () =
+  let params = Node.params t.node in
+  let fee = Params.required_fee params payload in
+  let deposit =
+    match payload with
+    | Tx.Deploy { deposit; _ } | Tx.Call { deposit; _ } -> deposit
+    | Tx.Transfer | Tx.Coinbase _ -> Amount.zero
+  in
+  let declared = Amount.sum (List.map (fun (o : Tx.output) -> o.amount) outputs) in
+  let total = Amount.(declared + fee + deposit) in
+  match select_coins t ~total with
+  | None ->
+      Error
+        (Printf.sprintf "insufficient funds: need %s, have %s" (Amount.to_string total)
+           (Amount.to_string (balance t)))
+  | Some (coins, change) ->
+      let outputs =
+        if Amount.is_zero change then outputs
+        else outputs @ [ ({ addr = address t; amount = change } : Tx.output) ]
+      in
+      let inputs = List.map (fun op -> (op, t.identity)) coins in
+      Ok
+        (Tx.make ~chain:params.Params.chain_id ~inputs ~outputs ~payload ~fee
+           ~nonce:(next_nonce t) ())
+
+(* Build, sign, and submit to the wallet's node. Returns the txid. *)
+let submit t ?payload ~outputs () =
+  match build t ?payload ~outputs () with
+  | Error e -> Error e
+  | Ok tx -> (
+      match Node.submit_tx t.node tx with
+      | Ok () -> Ok (Tx.txid tx)
+      | Error e -> Error e)
+
+let pay t ~to_ ~amount = submit t ~outputs:[ ({ addr = to_; amount } : Tx.output) ] ()
+
+let deploy t ~code_id ~args ~deposit =
+  match submit t ~payload:(Tx.Deploy { code_id; args; deposit }) ~outputs:[] () with
+  | Error e -> Error e
+  | Ok txid -> Ok (txid, Contract_iface.contract_id_of_deploy ~txid)
+
+let call t ~contract_id ~fn ~args ?(deposit = Amount.zero) () =
+  submit t ~payload:(Tx.Call { contract_id; fn; args; deposit }) ~outputs:[] ()
+
+let confirmations t txid = Node.confirmations t.node txid

@@ -1,0 +1,45 @@
+(** Wallet: an identity attached to a node, with coin selection and
+    convenience transaction builders. *)
+
+module Keys = Ac3_crypto.Keys
+
+type t
+
+val create : identity:Keys.t -> node:Node.t -> t
+
+val identity : t -> Keys.t
+
+val node : t -> Node.t
+
+val address : t -> string
+
+val public : t -> Keys.public
+
+val balance : t -> Amount.t
+
+(** Build and sign a transaction (outputs + payload + fee + change) from
+    the wallet's UTXOs. [Error] if funds are insufficient. *)
+val build : t -> ?payload:Tx.payload -> outputs:Tx.output list -> unit -> (Tx.t, string) result
+
+(** Build, sign, and submit; returns the txid. *)
+val submit :
+  t -> ?payload:Tx.payload -> outputs:Tx.output list -> unit -> (string, string) result
+
+(** Plain payment. *)
+val pay : t -> to_:string -> amount:Amount.t -> (string, string) result
+
+(** Deploy a contract locking [deposit]; returns (txid, contract id). *)
+val deploy :
+  t -> code_id:string -> args:Value.t -> deposit:Amount.t -> (string * string, string) result
+
+(** Invoke a contract function, optionally attaching a deposit. *)
+val call :
+  t ->
+  contract_id:string ->
+  fn:string ->
+  args:Value.t ->
+  ?deposit:Amount.t ->
+  unit ->
+  (string, string) result
+
+val confirmations : t -> string -> int

@@ -1,0 +1,1 @@
+lib/contract/ac2t.ml: Ac3_chain Ac3_crypto Amount Array Fmt List Queue String

@@ -1,0 +1,1 @@
+lib/contract/ac2t.mli: Ac3_chain Ac3_crypto Amount Format

@@ -1,0 +1,1 @@
+lib/contract/centralized_sc.ml: Ac3_chain Ac3_crypto Result String Swap_template Value

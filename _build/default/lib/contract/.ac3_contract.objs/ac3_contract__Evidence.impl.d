@@ -1,0 +1,1 @@
+lib/contract/evidence.ml: Ac3_chain Ac3_crypto Block List Params Printf Spv Store String Tx Value

@@ -1,0 +1,1 @@
+lib/contract/evidence.mli: Ac3_chain Ac3_crypto Block Spv Store Tx Value

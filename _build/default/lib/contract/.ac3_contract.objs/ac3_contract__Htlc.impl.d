@@ -1,0 +1,1 @@
+lib/contract/htlc.ml: Ac3_chain Ac3_crypto Contract_iface Result String Swap_template Value

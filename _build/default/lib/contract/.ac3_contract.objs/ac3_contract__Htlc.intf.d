@@ -1,0 +1,1 @@
+lib/contract/htlc.mli: Ac3_chain Ac3_crypto Contract_iface Value

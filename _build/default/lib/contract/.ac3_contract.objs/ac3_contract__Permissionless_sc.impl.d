@@ -1,0 +1,1 @@
+lib/contract/permissionless_sc.ml: Ac3_chain Ac3_crypto Block Evidence Int64 Result String Swap_template Tx Value

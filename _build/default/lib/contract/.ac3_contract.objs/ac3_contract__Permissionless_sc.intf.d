@@ -1,0 +1,1 @@
+lib/contract/permissionless_sc.mli: Ac3_chain Ac3_crypto Block Contract_iface Value

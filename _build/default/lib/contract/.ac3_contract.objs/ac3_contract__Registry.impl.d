@@ -1,0 +1,1 @@
+lib/contract/registry.ml: Ac3_chain Centralized_sc Contract_iface Htlc Permissionless_sc Witness_sc

@@ -1,0 +1,1 @@
+lib/contract/registry.mli: Ac3_chain

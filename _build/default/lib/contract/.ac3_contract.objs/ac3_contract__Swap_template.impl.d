@@ -1,0 +1,1 @@
+lib/contract/swap_template.ml: Ac3_chain Ac3_crypto Amount Contract_iface Result String Value

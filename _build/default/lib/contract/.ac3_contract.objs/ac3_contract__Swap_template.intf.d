@@ -1,0 +1,1 @@
+lib/contract/swap_template.mli: Ac3_chain Ac3_crypto Contract_iface Value

@@ -1,0 +1,1 @@
+lib/contract/witness_sc.ml: Ac2t Ac3_chain Ac3_crypto Amount Block Contract_iface Evidence Int64 List Permissionless_sc Printf Result String Tx Value

@@ -1,0 +1,1 @@
+lib/contract/witness_sc.mli: Ac2t Ac3_chain Ac3_crypto Block Contract_iface Value

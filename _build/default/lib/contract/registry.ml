@@ -1,0 +1,13 @@
+(* The standard contract registry: every chain in the cross-chain universe
+   executes the same code set, so deployments and evidence validate
+   uniformly. *)
+
+open Ac3_chain
+
+let standard () =
+  let r = Contract_iface.create_registry () in
+  Contract_iface.register r (module Htlc.Code : Contract_iface.CODE);
+  Contract_iface.register r (module Centralized_sc.Code : Contract_iface.CODE);
+  Contract_iface.register r (module Permissionless_sc.Code : Contract_iface.CODE);
+  Contract_iface.register r (module Witness_sc.Code : Contract_iface.CODE);
+  r

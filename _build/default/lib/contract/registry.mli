@@ -1,0 +1,4 @@
+(** Standard contract registry shared by every simulated chain. *)
+
+(** Registers the HTLC, AC3TW, AC3WN per-edge, and witness contracts. *)
+val standard : unit -> Ac3_chain.Contract_iface.registry

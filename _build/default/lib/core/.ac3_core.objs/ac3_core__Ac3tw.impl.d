@@ -1,0 +1,1 @@
+lib/core/ac3tw.ml: Ac3_chain Ac3_contract Ac3_crypto Ac3_sim Amount Array Ledger List Logs Node Option Outcome Params Participant Printf String Trent Universe Wallet

@@ -1,0 +1,1 @@
+lib/core/ac3tw.mli: Ac3_chain Ac3_contract Ac3_sim Amount Outcome Participant Stdlib Trent Universe

@@ -1,0 +1,1 @@
+lib/core/ac3wn.ml: Ac3_chain Ac3_contract Ac3_crypto Ac3_sim Amount Array Block Contract_iface Ledger List Logs Node Option Outcome Params Participant Result Store String Universe Value Wallet

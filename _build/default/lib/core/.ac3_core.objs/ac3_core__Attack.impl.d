@@ -1,0 +1,1 @@
+lib/core/attack.ml: Ac3_chain Ac3_crypto Ac3_sim Analysis Block Contract_iface List Params Pow Store String Tx

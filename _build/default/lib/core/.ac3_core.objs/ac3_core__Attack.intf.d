@@ -1,0 +1,1 @@
+lib/core/attack.mli: Ac3_chain Ac3_sim

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Ac3_chain Ac3_contract Ac3wn Attack Params

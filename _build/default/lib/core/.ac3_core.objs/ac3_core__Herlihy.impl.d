@@ -1,0 +1,1 @@
+lib/core/herlihy.ml: Ac3_chain Ac3_contract Ac3_crypto Ac3_sim Amount Array Fmt Hashtbl Ledger List Logs Node Outcome Params Participant Printf Queue Store String Universe Value Wallet

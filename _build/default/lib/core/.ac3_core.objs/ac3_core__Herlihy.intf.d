@@ -1,0 +1,1 @@
+lib/core/herlihy.mli: Ac3_chain Ac3_contract Ac3_crypto Ac3_sim Amount Outcome Participant Stdlib Universe

@@ -1,0 +1,1 @@
+lib/core/nolan.ml: Ac3_contract Herlihy

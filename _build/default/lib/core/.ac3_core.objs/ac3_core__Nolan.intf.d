@@ -1,0 +1,1 @@
+lib/core/nolan.mli: Ac3_chain Ac3_contract Herlihy Participant Universe

@@ -1,0 +1,1 @@
+lib/core/outcome.ml: Ac3_chain Ac3_contract Fmt Ledger List Node Universe

@@ -1,0 +1,1 @@
+lib/core/outcome.mli: Ac3_contract Format Universe

@@ -1,0 +1,1 @@
+lib/core/participant.ml: Ac3_chain Ac3_crypto List Universe Wallet

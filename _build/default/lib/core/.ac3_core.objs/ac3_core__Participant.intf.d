@@ -1,0 +1,1 @@
+lib/core/participant.mli: Ac3_chain Ac3_crypto Amount Universe Wallet

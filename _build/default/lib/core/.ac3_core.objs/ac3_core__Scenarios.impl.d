@@ -1,0 +1,1 @@
+lib/core/scenarios.ml: Ac3_chain Ac3_contract Ac3_crypto Amount Array List Params Participant String Universe

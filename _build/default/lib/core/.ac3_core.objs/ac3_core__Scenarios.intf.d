@@ -1,0 +1,1 @@
+lib/core/scenarios.mli: Ac3_chain Ac3_contract Ac3_crypto Amount Params Participant Universe

@@ -1,0 +1,1 @@
+lib/core/trent.ml: Ac3_chain Ac3_contract Ac3_crypto Amount Hashtbl Ledger List Node Option Result String Universe Value

@@ -1,0 +1,1 @@
+lib/core/trent.mli: Ac3_contract Ac3_crypto Universe

@@ -1,0 +1,1 @@
+lib/core/universe.ml: Ac3_chain Ac3_contract Ac3_crypto Ac3_sim Array Block Contract_iface List Miner Network Node Params Printf Store

@@ -1,0 +1,1 @@
+lib/core/universe.mli: Ac3_chain Ac3_sim Block Miner Network Node Params

@@ -1,0 +1,62 @@
+(** AC3WN: the atomic cross-chain commitment protocol with a
+    permissionless witness network (paper Sec 4.2).
+
+    [execute] runs a complete AC2T: off-chain multisignature on the
+    graph, SCw registration on the witness chain, parallel deployment of
+    the per-edge contracts, the evidence-backed state change, and
+    parallel redemption — or the refund path on abort. Every participant
+    acts through an independent poll loop over its own chain views;
+    crashed participants simply stop polling and can resume later. *)
+
+module Keys = Ac3_crypto.Keys
+module Ac2t = Ac3_contract.Ac2t
+open Ac3_chain
+
+type config = {
+  witness_chain : string;
+  evidence_depth : int;  (** burial required of deployment evidence *)
+  decision_depth : int;  (** d: burial required of the SCw decision *)
+  poll_interval : float;
+  timeout : float;  (** horizon for the simulation run *)
+}
+
+val default_config : witness_chain:string -> config
+
+type tx_kind = Scw_deploy | Edge_deploy | Authorize | Redeem | Refund
+
+type fee_entry = { payer : Keys.public; kind : tx_kind; fee : Amount.t }
+
+type result = {
+  graph : Ac2t.t;
+  scw_id : string option;  (** the witness contract, once confirmed *)
+  contracts : string option list;  (** per-edge contract ids, graph order *)
+  outcome : Outcome.t;
+  atomic : bool;
+  committed : bool;
+  latency : float option;
+      (** agreement to last confirmed settlement, in virtual seconds *)
+  trace : Ac3_sim.Trace.t;
+  fees : fee_entry list;
+}
+
+(** Execute an AC2T end to end. [participants] must cover the graph's
+    vertices. [hooks] bind trace labels (e.g. ["scw_confirmed"],
+    ["authorize_redeem_submitted"]) to callbacks, letting experiments
+    crash participants at precise protocol phases. [abort_after]
+    requests the refund path after that many virtual seconds if SCw is
+    still undecided. *)
+val execute :
+  Universe.t ->
+  config:config ->
+  graph:Ac2t.t ->
+  participants:Participant.t list ->
+  ?hooks:(string * (unit -> unit)) list ->
+  ?abort_after:float ->
+  unit ->
+  result
+
+(** Sum of all fees paid during the run. *)
+val total_fees : result -> Amount.t
+
+(** Fees paid by one participant. *)
+val fees_by : result -> Keys.public -> Amount.t

@@ -1,0 +1,43 @@
+(** Closed-form analytical models from the paper's evaluation (Sec 6). *)
+
+(** Herlihy's protocol latency in Δ units: [2 * diam]. *)
+val herlihy_latency : diam:int -> float
+
+(** AC3WN's constant latency in Δ units: 4. *)
+val ac3wn_latency : float
+
+(** The Figure 10 series: [(diam, herlihy, ac3wn)] for diam = 2..max. *)
+val figure10 : max_diam:int -> (int * float * float) list
+
+(** N contracts at deployment fee [fd] and call fee [ffc]: [N*(fd+ffc)]. *)
+val herlihy_cost : n:int -> fd:float -> ffc:float -> float
+
+(** One extra contract and call: [(N+1)*(fd+ffc)]. *)
+val ac3wn_cost : n:int -> fd:float -> ffc:float -> float
+
+(** AC3WN's relative cost overhead: [1/N]. *)
+val cost_overhead_ratio : n:int -> float
+
+(** Dollar cost of the SCw deployment + state-change call at an ETH/USD
+    rate (anchored to the paper's $4-at-$300 / $2-at-$140 data points). *)
+val scw_overhead_usd : eth_usd:float -> float
+
+(** Sec 6.3: smallest d with [d > va*dh/ch] — deep enough that renting a
+    51% attack costs more than the assets at stake. *)
+val required_depth : va:float -> dh:float -> ch:float -> int
+
+(** The paper's worked example ($1M, Bitcoin witness): 21. *)
+val paper_example_depth : unit -> int
+
+(** Gambler's-ruin bound [(q/p)^(d+1)] on a private-fork attack's success
+    for an adversary with hash-power share [q] < 1/2; 1 for q >= 1/2. *)
+val attack_success_probability : q:float -> d:int -> float
+
+(** Table 1: (chain, tps) for the top-4 chains by market cap. *)
+val table1 : (string * float) list
+
+(** Sec 6.4: AC2T throughput is the minimum over the involved chains. *)
+val ac2t_throughput : float list -> float
+
+(** Ethereum x Litecoin witnessed by Bitcoin: 7 tps. *)
+val paper_example_throughput : unit -> float

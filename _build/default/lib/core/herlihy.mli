@@ -1,0 +1,50 @@
+(** The single-leader hashlock/timelock atomic swap protocol of Herlihy
+    (2018), generalizing Nolan's two-party swap — the baseline the paper
+    evaluates AC3WN against (Sec 6, Figures 8 and 10).
+
+    Contracts deploy sequentially along paths from the leader
+    (Diam(D) rounds) and redeem sequentially as the secret propagates
+    back (another Diam(D) rounds). Timelocks expire; a participant that
+    crashes past its window loses its assets (Sec 1). *)
+
+module Keys = Ac3_crypto.Keys
+module Ac2t = Ac3_contract.Ac2t
+open Ac3_chain
+
+type config = {
+  delta : float;  (** Δ: the timelock unit *)
+  timelock_slack : float;  (** extra Δs of margin on every timelock *)
+  poll_interval : float;
+  timeout : float;
+}
+
+val default_config : delta:float -> config
+
+type fee_entry = { payer : Keys.public; fee : Amount.t }
+
+type result = {
+  graph : Ac2t.t;
+  contracts : string option list;
+  outcome : Outcome.t;
+  atomic : bool;
+  committed : bool;
+  latency : float option;
+  trace : Ac3_sim.Trace.t;
+  fees : fee_entry list;
+}
+
+(** Execute the swap with the graph's first participant as leader.
+    [Error] if the graph is not single-leader executable (disconnected,
+    or cyclic once the leader is removed — Sec 5.3). [hooks] fire on
+    trace labels such as ["deploy:2"] or ["redeem:1"] (per-edge indexes
+    in graph order). *)
+val execute :
+  Universe.t ->
+  config:config ->
+  graph:Ac2t.t ->
+  participants:Participant.t list ->
+  ?hooks:(string * (unit -> unit)) list ->
+  unit ->
+  (result, string) Stdlib.result
+
+val total_fees : result -> Amount.t

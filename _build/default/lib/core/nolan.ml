@@ -1,0 +1,29 @@
+(* Nolan's two-party atomic swap (bitcointalk, 2013): the original
+   hashlock/timelock protocol from the paper's introduction.
+
+   Alice (the leader) locks X under h = H(s) on chain 1 with timelock t1;
+   Bob, having verified SC1, locks Y under the same h on chain 2 with
+   timelock t2 < t1; Alice redeems SC2 (revealing s); Bob redeems SC1
+   with s before t1. This is exactly the single-leader protocol on the
+   two-vertex graph, so the implementation delegates to {!Herlihy} — the
+   timelock structure (leader's contract expires last) and the crash
+   hazard are identical. *)
+
+module Ac2t = Ac3_contract.Ac2t
+
+type config = Herlihy.config
+
+let default_config = Herlihy.default_config
+
+type result = Herlihy.result
+
+(* Execute a two-party swap. Raises [Invalid_argument] if the graph is
+   not a simple two-party swap. *)
+let execute universe ~config ~graph ~participants ?hooks () =
+  if Ac2t.classify graph <> Ac2t.Simple_swap then
+    invalid_arg "Nolan.execute: graph is not a two-party swap";
+  match Herlihy.execute universe ~config ~graph ~participants ?hooks () with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Nolan.execute: " ^ e)
+
+let total_fees = Herlihy.total_fees

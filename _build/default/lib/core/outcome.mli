@@ -1,0 +1,41 @@
+(** Outcome evaluation: did the all-or-nothing property hold? *)
+
+module Ac2t = Ac3_contract.Ac2t
+
+type contract_status = Missing | Published | Redeemed | Refunded
+
+type edge_outcome = {
+  edge : Ac2t.edge;
+  contract_id : string option;
+  status : contract_status;
+}
+
+type t = { edges : edge_outcome list }
+
+(** Read each edge contract's final status from its chain; [contracts]
+    pairs each graph edge (in order) with its contract id, if it was ever
+    deployed. *)
+val evaluate : Universe.t -> graph:Ac2t.t -> contracts:string option list -> t
+
+val statuses : t -> contract_status list
+
+val all_redeemed : t -> bool
+
+val none_redeemed : t -> bool
+
+val all_refunded_or_missing : t -> bool
+
+(** All-or-nothing: every asset transfer happened, or none did. *)
+val atomic : t -> bool
+
+(** Nothing left locked: every contract redeemed, refunded, or never
+    published. *)
+val settled : t -> bool
+
+val committed : t -> bool
+
+val aborted : t -> bool
+
+val pp_status : Format.formatter -> contract_status -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+(* The cross-chain universe: several independent blockchains sharing one
+   virtual clock.
+
+   Each chain gets its own gossip network, full nodes and miners;
+   participants and witnesses observe chains through designated nodes.
+   The whole universe is deterministic from the seed. *)
+
+module Engine = Ac3_sim.Engine
+module Rng = Ac3_sim.Rng
+module Trace = Ac3_sim.Trace
+open Ac3_chain
+
+type chain = {
+  params : Params.t;
+  network : Network.t;
+  nodes : Node.t array;
+  miners : Miner.t array;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  registry : Contract_iface.registry;
+  mutable chains : (string * chain) list;
+  trace : Trace.t;
+}
+
+let create ?(seed = 1) () =
+  {
+    engine = Engine.create ();
+    rng = Rng.create seed;
+    registry = Ac3_contract.Registry.standard ();
+    chains = [];
+    trace = Trace.create ();
+  }
+
+let engine t = t.engine
+
+let rng t = t.rng
+
+let trace t = t.trace
+
+let now t = Engine.now t.engine
+
+let record t ?attrs label = Trace.record t.trace ~time:(now t) ?attrs label
+
+(* Spin up a chain: [nodes] full nodes on a fresh network, each mining an
+   equal share of the chain's hash power. *)
+let add_chain ?(nodes = 3) ?(min_delay = 0.05) ?(max_delay = 0.5) t params =
+  let id = params.Params.chain_id in
+  if List.mem_assoc id t.chains then invalid_arg (Printf.sprintf "Universe: duplicate chain %s" id);
+  let network = Network.create ~min_delay ~max_delay ~engine:t.engine ~rng:(Rng.split t.rng) () in
+  let node_arr =
+    Array.init nodes (fun i ->
+        Node.create ~engine:t.engine ~network ~params ~registry:t.registry
+          (Printf.sprintf "%s/node%d" id i))
+  in
+  let miners =
+    Array.map
+      (fun node ->
+        Miner.create ~engine:t.engine ~rng:(Rng.split t.rng) ~node
+          ~address:(Ac3_crypto.Keys.address (Ac3_crypto.Keys.create ("miner:" ^ Node.id node)))
+          ~share:(1.0 /. float_of_int nodes))
+      node_arr
+  in
+  Array.iter Miner.start miners;
+  let chain = { params; network; nodes = node_arr; miners } in
+  t.chains <- t.chains @ [ (id, chain) ];
+  chain
+
+let chain t id =
+  match List.assoc_opt id t.chains with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Universe: unknown chain %s" id)
+
+let chains t = t.chains
+
+let chain_ids t = List.map fst t.chains
+
+(* The node participants use by default to observe and submit on a
+   chain. *)
+let gateway t id = (chain t id).nodes.(0)
+
+let params t id = (chain t id).params
+
+(* Confirmation latency of a chain: how long until a transaction sits at
+   its confirmation depth, in expectation. This is the Δ of Sec 6.1. *)
+let delta t id =
+  let p = params t id in
+  float_of_int p.Params.confirm_depth *. p.Params.block_interval
+
+(* The largest Δ across all chains: the Δ used in the paper's uniform
+   latency analysis. *)
+let max_delta t =
+  List.fold_left (fun acc (id, _) -> max acc (delta t id)) 0.0 t.chains
+
+let run_until t horizon = Engine.run_until t.engine horizon
+
+(* Run until [cond] holds, checking between events, up to [timeout]
+   virtual seconds from now. Returns whether the condition was met. *)
+let run_while t ?(timeout = 500_000.0) cond =
+  let horizon = now t +. timeout in
+  ignore (Engine.run ~until:horizon ~stop:(fun () -> cond ()) t.engine);
+  cond ()
+
+(* A stable checkpoint header of a chain: the active block at
+   confirmation depth below the tip (or genesis for short chains). *)
+let stable_checkpoint t id =
+  let node = gateway t id in
+  let store = Node.store node in
+  let h = max 0 (Store.tip_height store - (params t id).Params.confirm_depth) in
+  match Store.block_at_height store h with
+  | Some b -> b.Block.header
+  | None -> (Store.genesis store).Block.header

@@ -1,0 +1,1 @@
+lib/crypto/codec.ml: Buffer Char Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/crypto/keys.ml: Fmt Hashtbl Hex Mss Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/keys.mli: Codec Format Mss

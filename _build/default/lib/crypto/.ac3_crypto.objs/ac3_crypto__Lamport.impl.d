@@ -1,0 +1,1 @@
+lib/crypto/lamport.ml: Array Char Drbg Sha256 String

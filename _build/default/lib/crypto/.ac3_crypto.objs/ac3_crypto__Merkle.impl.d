@@ -1,0 +1,1 @@
+lib/crypto/merkle.ml: Array Codec List Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/mss.ml: Array Codec Printf Sha256 String Wots

@@ -1,0 +1,1 @@
+lib/crypto/multisig.ml: Codec Keys List Sha256

@@ -1,0 +1,1 @@
+lib/crypto/multisig.mli: Codec Keys

@@ -1,0 +1,1 @@
+lib/crypto/wots.ml: Array Char Codec Drbg Printf Sha256 String

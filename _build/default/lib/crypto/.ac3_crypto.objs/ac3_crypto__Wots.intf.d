@@ -1,0 +1,1 @@
+lib/crypto/wots.mli: Codec

@@ -1,0 +1,146 @@
+(* Canonical binary encoding used for everything that is hashed or signed
+   (transactions, block headers, contract values, AC2T graphs).
+
+   The format is deliberately simple: fixed-width big-endian integers,
+   length-prefixed strings, count-prefixed lists. Encoding is injective for
+   a fixed schema, which is all hashing and signing need. *)
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+
+  let contents = Buffer.contents
+
+  let u8 b v =
+    if v < 0 || v > 0xFF then invalid_arg "Codec.u8: out of range";
+    Buffer.add_char b (Char.chr v)
+
+  let u16 b v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Codec.u16: out of range";
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char b (Char.chr (v land 0xFF))
+
+  let u32 b v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.u32: out of range";
+    Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char b (Char.chr (v land 0xFF))
+
+  let i64 b (v : int64) =
+    for i = 7 downto 0 do
+      Buffer.add_char b
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+    done
+
+  let int b v = i64 b (Int64.of_int v)
+
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let float b v = i64 b (Int64.bits_of_float v)
+
+  (* Length-prefixed byte string. *)
+  let string b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  (* Fixed-width byte string: no length prefix; decoder must know the width. *)
+  let fixed b ~len s =
+    if String.length s <> len then
+      invalid_arg (Printf.sprintf "Codec.fixed: expected %d bytes, got %d" len (String.length s));
+    Buffer.add_string b s
+
+  let list b encode_item items =
+    u32 b (List.length items);
+    List.iter (encode_item b) items
+
+  let option b encode_item = function
+    | None -> u8 b 0
+    | Some v ->
+        u8 b 1;
+        encode_item b v
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let create data = { data; pos = 0 }
+
+  let remaining r = String.length r.data - r.pos
+
+  let need r n = if remaining r < n then fail "Codec: truncated input (need %d, have %d)" n (remaining r)
+
+  let u8 r =
+    need r 1;
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    let hi = u8 r in
+    let lo = u8 r in
+    (hi lsl 8) lor lo
+
+  let u32 r =
+    let a = u16 r in
+    let b = u16 r in
+    (a lsl 16) lor b
+
+  let i64 r =
+    need r 8;
+    let v = ref 0L in
+    for _ = 0 to 7 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8 r))
+    done;
+    !v
+
+  let int r = Int64.to_int (i64 r)
+
+  let bool r = match u8 r with 0 -> false | 1 -> true | v -> fail "Codec.bool: invalid byte %d" v
+
+  let float r = Int64.float_of_bits (i64 r)
+
+  let string r =
+    let n = u32 r in
+    need r n;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let fixed r ~len =
+    need r len;
+    let s = String.sub r.data r.pos len in
+    r.pos <- r.pos + len;
+    s
+
+  let list r decode_item =
+    let n = u32 r in
+    let rec loop acc k = if k = 0 then List.rev acc else loop (decode_item r :: acc) (k - 1) in
+    loop [] n
+
+  let option r decode_item =
+    match u8 r with
+    | 0 -> None
+    | 1 -> Some (decode_item r)
+    | v -> fail "Codec.option: invalid tag %d" v
+
+  let expect_end r = if remaining r <> 0 then fail "Codec: %d trailing bytes" (remaining r)
+end
+
+(* Encode a value with [f] to a standalone string. *)
+let encode f v =
+  let w = Writer.create () in
+  f w v;
+  Writer.contents w
+
+(* Decode a whole string with [f], requiring full consumption. *)
+let decode f s =
+  let r = Reader.create s in
+  let v = f r in
+  Reader.expect_end r;
+  v

@@ -1,0 +1,80 @@
+(** Canonical binary encoding for hashed and signed structures.
+
+    Fixed-width big-endian integers, length-prefixed strings,
+    count-prefixed lists. Injective for a fixed schema. *)
+
+exception Decode_error of string
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val contents : t -> string
+
+  val u8 : t -> int -> unit
+
+  val u16 : t -> int -> unit
+
+  val u32 : t -> int -> unit
+
+  val i64 : t -> int64 -> unit
+
+  (** Native int written as 64-bit. *)
+  val int : t -> int -> unit
+
+  val bool : t -> bool -> unit
+
+  (** IEEE-754 bits, so encoding is exact. *)
+  val float : t -> float -> unit
+
+  (** Length-prefixed byte string. *)
+  val string : t -> string -> unit
+
+  (** Fixed-width byte string (no prefix); raises if the width differs. *)
+  val fixed : t -> len:int -> string -> unit
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+end
+
+module Reader : sig
+  type t
+
+  val create : string -> t
+
+  val remaining : t -> int
+
+  val u8 : t -> int
+
+  val u16 : t -> int
+
+  val u32 : t -> int
+
+  val i64 : t -> int64
+
+  val int : t -> int
+
+  val bool : t -> bool
+
+  val float : t -> float
+
+  val string : t -> string
+
+  val fixed : t -> len:int -> string
+
+  val list : t -> (t -> 'a) -> 'a list
+
+  val option : t -> (t -> 'a) -> 'a option
+
+  (** Raise {!Decode_error} unless the input is fully consumed. *)
+  val expect_end : t -> unit
+end
+
+(** [encode f v] runs encoder [f] on [v] and returns the bytes. *)
+val encode : (Writer.t -> 'a -> unit) -> 'a -> string
+
+(** [decode f s] decodes [s] entirely with [f]; raises {!Decode_error} on
+    malformed or trailing input. *)
+val decode : (Reader.t -> 'a) -> string -> 'a

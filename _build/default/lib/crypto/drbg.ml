@@ -1,0 +1,26 @@
+(* Deterministic random byte generator in counter mode over HMAC-SHA256.
+
+   Used to expand a seed into key material for the hash-based signature
+   schemes; deterministic so that simulated identities are reproducible. *)
+
+type t = { key : string; mutable counter : int }
+
+let create ~seed ~label = { key = Hmac.mac ~key:seed label; counter = 0 }
+
+let block t =
+  let ctr = Printf.sprintf "%016x" t.counter in
+  t.counter <- t.counter + 1;
+  Hmac.mac ~key:t.key ctr
+
+let bytes t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (block t)
+  done;
+  String.sub (Buffer.contents buf) 0 n
+
+(* Stateless indexed expansion: the [i]-th 32-byte block derived from
+   [seed] under [label]. Lets signers regenerate any secret element without
+   storing the whole key. *)
+let expand ~seed ~label i =
+  Hmac.mac ~key:(Hmac.mac ~key:seed label) (Printf.sprintf "%016x" i)

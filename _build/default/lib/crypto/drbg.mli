@@ -1,0 +1,14 @@
+(** Deterministic random byte generation from a seed (HMAC-SHA256 counter
+    mode). Reproducible key material for the signature schemes. *)
+
+type t
+
+(** [create ~seed ~label] starts a stream bound to [label]. *)
+val create : seed:string -> label:string -> t
+
+(** [bytes t n] returns the next [n] bytes of the stream. *)
+val bytes : t -> int -> string
+
+(** [expand ~seed ~label i] is the [i]-th 32-byte block of the stream
+    derived from [seed] and [label], computed statelessly. *)
+val expand : seed:string -> label:string -> int -> string

@@ -1,0 +1,35 @@
+(* Hexadecimal encoding of byte strings. Lowercase on output; both cases
+   accepted on input. *)
+
+let hex_chars = "0123456789abcdef"
+
+let encode (s : string) : string =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set out (2 * i) hex_chars.[c lsr 4];
+    Bytes.set out ((2 * i) + 1) hex_chars.[c land 0xF]
+  done;
+  Bytes.unsafe_to_string out
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Hex.decode: invalid character %C" c)
+
+let decode (s : string) : string =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.decode: odd length";
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    Bytes.set out i (Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+  done;
+  Bytes.unsafe_to_string out
+
+(* First [n] hex digits, handy for log-friendly ids. *)
+let short ?(n = 12) s =
+  let h = encode s in
+  if String.length h <= n then h else String.sub h 0 n

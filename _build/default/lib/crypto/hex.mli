@@ -1,0 +1,11 @@
+(** Hexadecimal encoding of byte strings. *)
+
+(** [encode s] is the lowercase hex rendering of [s]. *)
+val encode : string -> string
+
+(** [decode h] parses hex (either case). Raises [Invalid_argument] on
+    malformed input. *)
+val decode : string -> string
+
+(** [short ?n s] is the first [n] (default 12) hex digits of [s]. *)
+val short : ?n:int -> string -> string

@@ -1,0 +1,29 @@
+(* HMAC-SHA256 (RFC 2104). *)
+
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  Bytes.unsafe_to_string padded
+
+let xor_with s byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_list [ xor_with key 0x36; msg ] in
+  Sha256.digest_list [ xor_with key 0x5c; inner ]
+
+let hexmac ~key msg = Hex.encode (mac ~key msg)
+
+(* Constant-time comparison for MACs (avoids timing side channels; also a
+   convenient total equality for 32-byte digests). *)
+let equal a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+       !acc = 0
+     end

@@ -1,0 +1,54 @@
+(* End-user identities: a thin facade over the MSS many-time signature
+   scheme, plus address derivation.
+
+   Identities are deterministic from a seed string, so simulated
+   participants ("alice", "bob", miners, ...) are reproducible. Key
+   generation is the expensive step (2^height WOTS key generations), so
+   generated key material is memoized by (seed, height); callers that need
+   independent signers across trials should embed the trial id in the
+   seed. *)
+
+type public = string (* 32-byte MSS root *)
+
+type signature = Mss.signature
+
+type t = { label : string; secret : Mss.secret; public : public }
+
+let address_len = 20
+
+(* Address = truncated hash of the public key, like Bitcoin's HASH160. *)
+let address_of_public pk = String.sub (Sha256.digest_list [ "addr"; pk ]) 0 address_len
+
+let cache : (string * int, Mss.secret) Hashtbl.t = Hashtbl.create 64
+
+let default_height = 6 (* 64 signatures per identity *)
+
+let create ?(height = default_height) label =
+  let key = (label, height) in
+  let secret =
+    match Hashtbl.find_opt cache key with
+    | Some s -> s
+    | None ->
+        let s = Mss.generate ~height ~seed:(Sha256.digest ("identity:" ^ label)) () in
+        Hashtbl.add cache key s;
+        s
+  in
+  { label; secret; public = Mss.public secret }
+
+let label t = t.label
+
+let public t = t.public
+
+let address t = address_of_public t.public
+
+let remaining_signatures t = Mss.remaining t.secret
+
+let sign t msg = Mss.sign t.secret msg
+
+let verify pk msg signature = Mss.verify pk msg signature
+
+let pp_public ppf pk = Fmt.string ppf (Hex.short pk)
+
+let encode_signature = Mss.encode_signature
+
+let decode_signature = Mss.decode_signature

@@ -1,0 +1,78 @@
+(* Lamport one-time signatures over SHA-256.
+
+   The simplest publicly verifiable hash-based scheme: the secret key is
+   256 pairs of 32-byte preimages, the public key commits to their hashes,
+   and a signature reveals one preimage per message-digest bit. Kept in the
+   library both as the pedagogical baseline and as a size/speed comparison
+   point for WOTS in the micro-benchmarks. Strictly one-time: signing two
+   different messages with one key leaks enough preimages to forge. *)
+
+let bits = 256
+
+type secret = { seed : string }
+
+type public = string (* 32-byte commitment to all 512 hash values *)
+
+type signature = {
+  revealed : string array; (* 256 preimages, one per digest bit *)
+  complements : string array; (* hashes of the 256 unrevealed preimages *)
+}
+
+(* Secret element for bit position [i] with bit value [b]. *)
+let sk_element seed i b =
+  Drbg.expand ~seed ~label:"lamport" ((2 * i) + if b then 1 else 0)
+
+let pk_element seed i b = Sha256.digest (sk_element seed i b)
+
+let generate ~seed = { seed }
+
+let public { seed } =
+  let ctx = Sha256.init () in
+  for i = 0 to bits - 1 do
+    Sha256.feed_string ctx (pk_element seed i false);
+    Sha256.feed_string ctx (pk_element seed i true)
+  done;
+  Sha256.finalize ctx
+
+let bit_of digest i = Char.code digest.[i / 8] lsr (7 - (i mod 8)) land 1 = 1
+
+let sign sk msg =
+  let digest = Sha256.digest msg in
+  let revealed = Array.make bits "" in
+  let complements = Array.make bits "" in
+  for i = 0 to bits - 1 do
+    let b = bit_of digest i in
+    revealed.(i) <- sk_element sk.seed i b;
+    complements.(i) <- pk_element sk.seed i (not b)
+  done;
+  { revealed; complements }
+
+let verify pk msg { revealed; complements } =
+  Array.length revealed = bits
+  && Array.length complements = bits
+  && begin
+       let digest = Sha256.digest msg in
+       let ctx = Sha256.init () in
+       (try
+          for i = 0 to bits - 1 do
+            let b = bit_of digest i in
+            let h_b = Sha256.digest revealed.(i) in
+            let h_not_b = complements.(i) in
+            if String.length h_not_b <> 32 then raise Exit;
+            (* Reassemble the commitment in (false, true) order. *)
+            if b then begin
+              Sha256.feed_string ctx h_not_b;
+              Sha256.feed_string ctx h_b
+            end
+            else begin
+              Sha256.feed_string ctx h_b;
+              Sha256.feed_string ctx h_not_b
+            end
+          done;
+          String.equal (Sha256.finalize ctx) pk
+        with Exit -> false)
+     end
+
+let signature_size { revealed; complements } =
+  Array.fold_left (fun acc s -> acc + String.length s) 0 revealed
+  + Array.fold_left (fun acc s -> acc + String.length s) 0 complements

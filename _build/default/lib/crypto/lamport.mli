@@ -1,0 +1,22 @@
+(** Lamport one-time signatures over SHA-256.
+
+    Strictly one-time: a key must sign at most one message. *)
+
+type secret
+
+(** 32-byte public-key commitment. *)
+type public = string
+
+type signature
+
+(** Deterministic key from a seed. *)
+val generate : seed:string -> secret
+
+val public : secret -> public
+
+val sign : secret -> string -> signature
+
+val verify : public -> string -> signature -> bool
+
+(** Total signature size in bytes (for the size/speed comparison bench). *)
+val signature_size : signature -> int

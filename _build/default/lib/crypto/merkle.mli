@@ -1,0 +1,29 @@
+(** Merkle trees over SHA-256 with inclusion proofs.
+
+    Leaves and interior nodes are domain-separated; an odd node is paired
+    with itself (Bitcoin-style). *)
+
+type proof = {
+  leaf_index : int;
+  path : [ `Left of string | `Right of string ] list;
+}
+
+(** Root of the empty tree (a distinguished constant). *)
+val empty_root : string
+
+(** [root leaves] is the Merkle root committing to [leaves] in order. *)
+val root : string list -> string
+
+(** [proof leaves i] is the inclusion proof for the [i]-th leaf.
+    Raises [Invalid_argument] if [i] is out of range. *)
+val proof : string list -> int -> proof
+
+(** [verify ~root ~leaf p] checks that [leaf] is committed under [root]. *)
+val verify : root:string -> leaf:string -> proof -> bool
+
+(** Number of path elements (tree height). *)
+val proof_length : proof -> int
+
+val encode_proof : Codec.Writer.t -> proof -> unit
+
+val decode_proof : Codec.Reader.t -> proof

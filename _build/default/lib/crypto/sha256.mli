@@ -1,0 +1,24 @@
+(** SHA-256 (FIPS 180-4) in pure OCaml. Digests are 32-byte strings. *)
+
+type ctx
+
+(** Fresh streaming context. *)
+val init : unit -> ctx
+
+(** Feed a chunk into the context. *)
+val feed_string : ctx -> string -> unit
+
+(** Finish and return the 32-byte digest. The context must not be reused. *)
+val finalize : ctx -> string
+
+(** One-shot digest of a string. *)
+val digest : string -> string
+
+(** Digest of the concatenation of the parts, without materializing it. *)
+val digest_list : string list -> string
+
+(** One-shot digest rendered as lowercase hex. *)
+val hexdigest : string -> string
+
+(** Double SHA-256 ([digest (digest s)]), as used for Bitcoin-style ids. *)
+val digest2 : string -> string

@@ -1,0 +1,100 @@
+(* Discrete-event simulation engine.
+
+   The engine owns a virtual clock and a priority queue of pending events.
+   Events scheduled for the same instant fire in scheduling order (ties are
+   broken by a monotonically increasing sequence number), which keeps runs
+   deterministic. Callbacks may schedule further events. *)
+
+type event = {
+  time : float;
+  seq : int;
+  callback : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable now : float;
+  mutable next_seq : int;
+  queue : event Heap.t;
+  mutable executed : int;
+}
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { now = 0.0; next_seq = 0; queue = Heap.create compare_event; executed = 0 }
+
+let now t = t.now
+
+let executed_events t = t.executed
+
+let pending_events t = Heap.length t.queue
+
+let schedule_at t ~time callback =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %.6f is in the past (now %.6f)" time t.now);
+  let ev = { time; seq = t.next_seq; callback; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~delay callback =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) callback
+
+let cancel handle = handle.cancelled <- true
+
+let is_cancelled handle = handle.cancelled
+
+(* Run until the queue drains, the horizon is reached or [stop] returns
+   true. Returns the number of events executed during this call. *)
+let run ?(until = infinity) ?stop t =
+  let should_stop () = match stop with None -> false | Some f -> f () in
+  let count = ref 0 in
+  let rec loop () =
+    if should_stop () then ()
+    else
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some ev when ev.time > until -> ()
+      | Some _ -> (
+          match Heap.pop t.queue with
+          | None -> ()
+          | Some ev ->
+              if not ev.cancelled then begin
+                t.now <- ev.time;
+                incr count;
+                t.executed <- t.executed + 1;
+                ev.callback ()
+              end;
+              loop ())
+  in
+  loop ();
+  (* Advance the clock to the horizon if the queue drained early (but not
+     when the stop condition ended the run), so that back-to-back
+     [run ~until] calls observe monotone time. *)
+  if (not (should_stop ())) && until < infinity && t.now < until then t.now <- until;
+  !count
+
+let run_until t horizon = ignore (run ~until:horizon t)
+
+(* Repeating event: reschedules itself every [every] until [cancel] is
+   called on the returned handle or [while_] turns false. *)
+let schedule_repeating ?while_ t ~first ~every callback =
+  let live = ref true in
+  let keep_going () = !live && (match while_ with None -> true | Some f -> f ()) in
+  let rec arm delay =
+    ignore
+      (schedule t ~delay (fun () ->
+           if keep_going () then begin
+             callback ();
+             if keep_going () then arm every
+           end))
+  in
+  arm first;
+  fun () -> live := false

@@ -1,0 +1,23 @@
+(** Array-backed binary min-heap. *)
+
+type 'a t
+
+(** [create compare] builds an empty heap ordered by [compare]. *)
+val create : ?capacity:int -> ('a -> 'a -> int) -> 'a t
+
+(** Number of elements. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h x] inserts [x]. O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** Smallest element, if any, without removing it. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element. O(log n). *)
+val pop : 'a t -> 'a option
+
+(** Drain the heap in ascending order (destructive). *)
+val to_list : 'a t -> 'a list

@@ -1,0 +1,94 @@
+(* Small statistics toolbox used by the experiment harness. *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. (n -. 1.0)
+
+let stddev xs = sqrt (variance xs)
+
+let minimum xs = match xs with [] -> nan | x :: r -> List.fold_left min x r
+
+let maximum xs = match xs with [] -> nan | x :: r -> List.fold_left max x r
+
+(* Nearest-rank percentile on a copy of the data. [p] in [0, 100]. *)
+let percentile xs p =
+  match xs with
+  | [] -> nan
+  | _ ->
+      let arr = Array.of_list xs in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let idx = max 0 (min (n - 1) (rank - 1)) in
+      arr.(idx)
+
+let median xs = percentile xs 50.0
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summarize xs =
+  {
+    count = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = minimum xs;
+    max = maximum xs;
+    p50 = percentile xs 50.0;
+    p95 = percentile xs 95.0;
+    p99 = percentile xs 99.0;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max
+
+(* Histogram with [buckets] equal-width bins over [lo, hi). *)
+let histogram ~lo ~hi ~buckets xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
+  if hi <= lo then invalid_arg "Stats.histogram: hi must exceed lo";
+  let counts = Array.make buckets 0 in
+  let width = (hi -. lo) /. float_of_int buckets in
+  List.iter
+    (fun x ->
+      if x >= lo && x < hi then begin
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = max 0 (min (buckets - 1) b) in
+        counts.(b) <- counts.(b) + 1
+      end)
+    xs;
+  counts
+
+(* Wilson score interval for a binomial proportion; used to report
+   confidence on measured atomicity-violation rates. *)
+let wilson_interval ~successes ~trials =
+  if trials = 0 then (0.0, 1.0)
+  else begin
+    let z = 1.96 in
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom
+    in
+    (max 0.0 (center -. half), min 1.0 (center +. half))
+  end

@@ -1,0 +1,38 @@
+(** Statistics helpers for the experiment harness. *)
+
+val mean : float list -> float
+
+(** Sample variance (Bessel-corrected). *)
+val variance : float list -> float
+
+val stddev : float list -> float
+
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+(** Nearest-rank percentile; [p] in [\[0, 100\]]. *)
+val percentile : float list -> float -> float
+
+val median : float list -> float
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Equal-width histogram over [\[lo, hi)]. *)
+val histogram : lo:float -> hi:float -> buckets:int -> float list -> int array
+
+(** 95% Wilson score interval for a binomial proportion. *)
+val wilson_interval : successes:int -> trials:int -> float * float

@@ -1,0 +1,55 @@
+(* Structured event traces for experiments.
+
+   A trace is an append-only log of (virtual time, label, attributes)
+   records. Experiments use traces to measure protocol phase durations
+   (e.g. the deployment and redemption phases of Figures 8 and 9). *)
+
+type record = { time : float; label : string; attrs : (string * string) list }
+
+type t = { mutable records : record list; mutable count : int }
+
+let create () = { records = []; count = 0 }
+
+let record t ~time ?(attrs = []) label =
+  t.records <- { time; label; attrs } :: t.records;
+  t.count <- t.count + 1
+
+let length t = t.count
+
+let records t = List.rev t.records
+
+let find t label = List.find_opt (fun r -> r.label = label) (records t)
+
+let find_all t label = List.filter (fun r -> r.label = label) (records t)
+
+let time_of t label =
+  match find t label with Some r -> Some r.time | None -> None
+
+(* Duration between the first occurrence of [from_] and the first
+   occurrence of [to_]; [None] if either is missing. *)
+let span t ~from_ ~to_ =
+  match (time_of t from_, time_of t to_) with
+  | Some a, Some b -> Some (b -. a)
+  | _ -> None
+
+let last_time_of t label =
+  match List.find_opt (fun r -> r.label = label) t.records with
+  | Some r -> Some r.time
+  | None -> None
+
+(* Span from first [from_] to the *last* [to_]; used when a phase ends with
+   the last of several parallel completions. *)
+let span_to_last t ~from_ ~to_ =
+  match (time_of t from_, last_time_of t to_) with
+  | Some a, Some b -> Some (b -. a)
+  | _ -> None
+
+let pp ppf t =
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%10.3f  %s" r.time r.label;
+      List.iter (fun (k, v) -> Fmt.pf ppf " %s=%s" k v) r.attrs;
+      Fmt.pf ppf "@.")
+    (records t)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,36 @@
+(** Append-only structured event traces for experiments. *)
+
+type record = { time : float; label : string; attrs : (string * string) list }
+
+type t
+
+val create : unit -> t
+
+(** [record t ~time ?attrs label] appends a record. *)
+val record : t -> time:float -> ?attrs:(string * string) list -> string -> unit
+
+val length : t -> int
+
+(** Records in chronological (insertion) order. *)
+val records : t -> record list
+
+(** First record carrying [label]. *)
+val find : t -> string -> record option
+
+val find_all : t -> string -> record list
+
+(** Time of the first record carrying [label]. *)
+val time_of : t -> string -> float option
+
+(** Time of the last record carrying [label]. *)
+val last_time_of : t -> string -> float option
+
+(** Duration from first [from_] to first [to_]. *)
+val span : t -> from_:string -> to_:string -> float option
+
+(** Duration from first [from_] to last [to_]. *)
+val span_to_last : t -> from_:string -> to_:string -> float option
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

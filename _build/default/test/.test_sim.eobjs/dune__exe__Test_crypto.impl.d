@@ -1,0 +1,1 @@
+test/test_crypto.ml: Ac3_crypto Alcotest Array Char Codec Drbg Fun Gen Hex Hmac Int64 Keys Lamport List Merkle Mss Multisig Printf QCheck QCheck_alcotest Sha256 String Wots

@@ -1,0 +1,1 @@
+test/test_sim.ml: Ac3_sim Alcotest Array Bytes Engine Fun Gen Heap List QCheck QCheck_alcotest Rng Stats Trace

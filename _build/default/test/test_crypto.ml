@@ -1,0 +1,532 @@
+(* Tests for the cryptographic substrate: SHA-256 against NIST vectors,
+   HMAC against RFC 4231, Merkle proofs, hash-based signatures, and
+   multisignatures. *)
+
+open Ac3_crypto
+
+(* --- Hex -------------------------------------------------------------- *)
+
+let test_hex_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) "roundtrip" s (Hex.decode (Hex.encode s)))
+    [ ""; "a"; "abc"; "\x00\xff\x80"; String.init 256 Char.chr ]
+
+let test_hex_cases () =
+  Alcotest.(check string) "lowercase output" "00ff10" (Hex.encode "\x00\xff\x10");
+  Alcotest.(check string) "uppercase accepted" "\x00\xff\x10" (Hex.decode "00FF10")
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length") (fun () ->
+      ignore (Hex.decode "abc"));
+  Alcotest.check_raises "bad char" (Invalid_argument "Hex.decode: invalid character 'z'")
+    (fun () -> ignore (Hex.decode "zz"))
+
+let qcheck_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrips any string" ~count:500 QCheck.string (fun s ->
+      Hex.decode (Hex.encode s) = s)
+
+(* --- SHA-256 ----------------------------------------------------------- *)
+
+(* NIST FIPS 180-4 test vectors. *)
+let sha256_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+  ]
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) ("sha256 of " ^ input) expected (Sha256.hexdigest input))
+    sha256_vectors
+
+let test_sha256_million_a () =
+  (* The classic one-million-'a' vector, fed in uneven chunks to exercise
+     the streaming interface. *)
+  let ctx = Sha256.init () in
+  let chunk = String.make 999 'a' in
+  for _ = 1 to 1001 do
+    Sha256.feed_string ctx chunk
+  done;
+  Sha256.feed_string ctx (String.make 1 'a');
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Hex.encode (Sha256.finalize ctx))
+
+let test_sha256_streaming_matches_oneshot () =
+  let data = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let ctx = Sha256.init () in
+  let rec feed pos =
+    if pos < String.length data then begin
+      let len = min 37 (String.length data - pos) in
+      Sha256.feed_string ctx (String.sub data pos len);
+      feed (pos + len)
+    end
+  in
+  feed 0;
+  Alcotest.(check string) "streaming = one-shot" (Sha256.digest data) (Sha256.finalize ctx)
+
+let test_sha256_digest_list () =
+  Alcotest.(check string) "digest_list concatenates" (Sha256.digest "foobar")
+    (Sha256.digest_list [ "foo"; "bar" ])
+
+let qcheck_sha256_deterministic =
+  QCheck.Test.make ~name:"sha256 deterministic, 32 bytes" ~count:300 QCheck.string (fun s ->
+      let a = Sha256.digest s and b = Sha256.digest s in
+      a = b && String.length a = 32)
+
+let qcheck_sha256_boundary_lengths =
+  (* Lengths around the 64-byte block boundary and 56-byte padding pivot. *)
+  QCheck.Test.make ~name:"streaming = one-shot at block boundaries" ~count:100
+    QCheck.(int_range 0 130)
+    (fun n ->
+      let s = String.make n 'x' in
+      let ctx = Sha256.init () in
+      String.iter (fun c -> Sha256.feed_string ctx (String.make 1 c)) s;
+      Sha256.finalize ctx = Sha256.digest s)
+
+(* --- HMAC -------------------------------------------------------------- *)
+
+(* RFC 4231 test cases 1, 2 and 6 (long key). *)
+let test_hmac_rfc4231 () =
+  Alcotest.(check string) "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hex.encode (Hmac.mac ~key:(String.make 20 '\x0b') "Hi There"));
+  Alcotest.(check string) "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hex.encode (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"));
+  Alcotest.(check string) "case 6 (long key)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hex.encode
+       (Hmac.mac ~key:(String.make 131 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_equal () =
+  Alcotest.(check bool) "equal" true (Hmac.equal "abcd" "abcd");
+  Alcotest.(check bool) "differs" false (Hmac.equal "abcd" "abce");
+  Alcotest.(check bool) "length differs" false (Hmac.equal "abc" "abcd")
+
+(* --- DRBG -------------------------------------------------------------- *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create ~seed:"seed" ~label:"test" in
+  let b = Drbg.create ~seed:"seed" ~label:"test" in
+  Alcotest.(check string) "same stream" (Drbg.bytes a 100) (Drbg.bytes b 100)
+
+let test_drbg_label_separation () =
+  let a = Drbg.create ~seed:"seed" ~label:"one" in
+  let b = Drbg.create ~seed:"seed" ~label:"two" in
+  Alcotest.(check bool) "labels separate streams" true (Drbg.bytes a 32 <> Drbg.bytes b 32)
+
+let test_drbg_expand_indexed () =
+  let x = Drbg.expand ~seed:"s" ~label:"l" 5 in
+  let y = Drbg.expand ~seed:"s" ~label:"l" 5 in
+  let z = Drbg.expand ~seed:"s" ~label:"l" 6 in
+  Alcotest.(check string) "stable" x y;
+  Alcotest.(check bool) "index matters" true (x <> z);
+  Alcotest.(check int) "32 bytes" 32 (String.length x)
+
+(* --- Merkle ------------------------------------------------------------ *)
+
+let leaves n = List.init n (fun i -> Printf.sprintf "leaf-%d" i)
+
+let test_merkle_empty_and_single () =
+  Alcotest.(check string) "empty root constant" Merkle.empty_root (Merkle.root []);
+  Alcotest.(check bool) "singleton differs from empty" true
+    (Merkle.root [ "x" ] <> Merkle.empty_root)
+
+let test_merkle_proofs_all_sizes () =
+  List.iter
+    (fun n ->
+      let ls = leaves n in
+      let root = Merkle.root ls in
+      List.iteri
+        (fun i leaf ->
+          let proof = Merkle.proof ls i in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d i=%d verifies" n i)
+            true
+            (Merkle.verify ~root ~leaf proof))
+        ls)
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 16; 33 ]
+
+let test_merkle_rejects_wrong_leaf () =
+  let ls = leaves 8 in
+  let root = Merkle.root ls in
+  let proof = Merkle.proof ls 3 in
+  Alcotest.(check bool) "wrong leaf rejected" false (Merkle.verify ~root ~leaf:"evil" proof)
+
+let test_merkle_rejects_wrong_root () =
+  let ls = leaves 8 in
+  let proof = Merkle.proof ls 3 in
+  Alcotest.(check bool) "wrong root rejected" false
+    (Merkle.verify ~root:(Sha256.digest "other") ~leaf:(List.nth ls 3) proof)
+
+let test_merkle_order_sensitivity () =
+  Alcotest.(check bool) "leaf order matters" true
+    (Merkle.root [ "a"; "b" ] <> Merkle.root [ "b"; "a" ])
+
+let test_merkle_proof_codec_roundtrip () =
+  let ls = leaves 9 in
+  let proof = Merkle.proof ls 5 in
+  let encoded = Codec.encode Merkle.encode_proof proof in
+  let decoded = Codec.decode Merkle.decode_proof encoded in
+  Alcotest.(check bool) "roundtrips and verifies" true
+    (Merkle.verify ~root:(Merkle.root ls) ~leaf:(List.nth ls 5) decoded)
+
+let qcheck_merkle_random =
+  QCheck.Test.make ~name:"every leaf of a random tree verifies" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 40) string)
+    (fun ls ->
+      let root = Merkle.root ls in
+      List.for_all
+        (fun i -> Merkle.verify ~root ~leaf:(List.nth ls i) (Merkle.proof ls i))
+        (List.init (List.length ls) Fun.id))
+
+(* --- Codec ------------------------------------------------------------- *)
+
+let test_codec_integers () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 255;
+  Codec.Writer.u16 w 65535;
+  Codec.Writer.u32 w 123456789;
+  Codec.Writer.i64 w (-1L);
+  Codec.Writer.int w 42;
+  let r = Codec.Reader.create (Codec.Writer.contents w) in
+  Alcotest.(check int) "u8" 255 (Codec.Reader.u8 r);
+  Alcotest.(check int) "u16" 65535 (Codec.Reader.u16 r);
+  Alcotest.(check int) "u32" 123456789 (Codec.Reader.u32 r);
+  Alcotest.(check int64) "i64" (-1L) (Codec.Reader.i64 r);
+  Alcotest.(check int) "int" 42 (Codec.Reader.int r);
+  Codec.Reader.expect_end r
+
+let test_codec_compound () =
+  let encode w (s, l, o) =
+    Codec.Writer.string w s;
+    Codec.Writer.list w Codec.Writer.string l;
+    Codec.Writer.option w Codec.Writer.bool o
+  in
+  let decode r =
+    let s = Codec.Reader.string r in
+    let l = Codec.Reader.list r Codec.Reader.string in
+    let o = Codec.Reader.option r Codec.Reader.bool in
+    (s, l, o)
+  in
+  let v = ("hello", [ "a"; ""; "ccc" ], Some true) in
+  Alcotest.(check (triple string (list string) (option bool)))
+    "roundtrip" v
+    (Codec.decode decode (Codec.encode encode v))
+
+let test_codec_trailing_rejected () =
+  Alcotest.check_raises "trailing bytes" (Codec.Decode_error "Codec: 1 trailing bytes")
+    (fun () -> ignore (Codec.decode Codec.Reader.u8 "ab"))
+
+let test_codec_truncation_rejected () =
+  let raised =
+    try
+      ignore (Codec.decode Codec.Reader.u32 "ab");
+      false
+    with Codec.Decode_error _ -> true
+  in
+  Alcotest.(check bool) "truncated input rejected" true raised
+
+let qcheck_codec_float =
+  QCheck.Test.make ~name:"float encoding is exact" ~count:300 QCheck.float (fun f ->
+      let f' = Codec.decode Codec.Reader.float (Codec.encode Codec.Writer.float f) in
+      Int64.bits_of_float f = Int64.bits_of_float f')
+
+(* --- Lamport ------------------------------------------------------------ *)
+
+let test_lamport_sign_verify () =
+  let sk = Lamport.generate ~seed:"lamport-test" in
+  let pk = Lamport.public sk in
+  let s = Lamport.sign sk "hello world" in
+  Alcotest.(check bool) "verifies" true (Lamport.verify pk "hello world" s);
+  Alcotest.(check bool) "wrong message rejected" false (Lamport.verify pk "hello worle" s)
+
+let test_lamport_wrong_key () =
+  let sk1 = Lamport.generate ~seed:"k1" in
+  let sk2 = Lamport.generate ~seed:"k2" in
+  let s = Lamport.sign sk1 "msg" in
+  Alcotest.(check bool) "other key rejects" false (Lamport.verify (Lamport.public sk2) "msg" s)
+
+let test_lamport_size () =
+  let sk = Lamport.generate ~seed:"size" in
+  let s = Lamport.sign sk "m" in
+  Alcotest.(check int) "512 x 32 bytes" (512 * 32) (Lamport.signature_size s)
+
+(* --- WOTS --------------------------------------------------------------- *)
+
+let test_wots_sign_verify () =
+  let sk = Wots.generate ~seed:"wots-test" ~tag:"t0" in
+  let pk = Wots.public sk in
+  let s = Wots.sign sk "attack at dawn" in
+  Alcotest.(check bool) "verifies" true (Wots.verify ~tag:"t0" pk "attack at dawn" s);
+  Alcotest.(check bool) "wrong message rejected" false (Wots.verify ~tag:"t0" pk "attack at dusk" s)
+
+let test_wots_tag_separation () =
+  let sk = Wots.generate ~seed:"wots-test" ~tag:"t0" in
+  let pk = Wots.public sk in
+  let s = Wots.sign sk "msg" in
+  Alcotest.(check bool) "wrong tag rejected" false (Wots.verify ~tag:"t1" pk "msg" s)
+
+let test_wots_tampered_signature () =
+  let sk = Wots.generate ~seed:"wots-tamper" ~tag:"t" in
+  let pk = Wots.public sk in
+  let s = Wots.sign sk "msg" in
+  let s' = Array.copy s in
+  s'.(0) <- Sha256.digest "garbage";
+  Alcotest.(check bool) "tampered chain rejected" false (Wots.verify ~tag:"t" pk "msg" s')
+
+let test_wots_codec_roundtrip () =
+  let sk = Wots.generate ~seed:"wots-codec" ~tag:"t" in
+  let s = Wots.sign sk "msg" in
+  let s' = Codec.decode Wots.decode_signature (Codec.encode Wots.encode_signature s) in
+  Alcotest.(check bool) "roundtrip verifies" true (Wots.verify ~tag:"t" (Wots.public sk) "msg" s')
+
+(* --- MSS ---------------------------------------------------------------- *)
+
+let test_mss_many_messages () =
+  let sk = Mss.generate ~height:3 ~seed:"mss-test" () in
+  let pk = Mss.public sk in
+  Alcotest.(check int) "capacity" 8 (Mss.capacity sk);
+  for i = 1 to 8 do
+    let msg = Printf.sprintf "message %d" i in
+    let s = Mss.sign sk msg in
+    Alcotest.(check bool) (Printf.sprintf "sig %d verifies" i) true (Mss.verify pk msg s);
+    Alcotest.(check bool)
+      (Printf.sprintf "sig %d binds message" i)
+      false
+      (Mss.verify pk "other" s)
+  done
+
+let test_mss_exhaustion () =
+  let sk = Mss.generate ~height:1 ~seed:"mss-exhaust" () in
+  ignore (Mss.sign sk "a");
+  ignore (Mss.sign sk "b");
+  Alcotest.(check int) "spent" 0 (Mss.remaining sk);
+  Alcotest.check_raises "exhausted" Mss.Key_exhausted (fun () -> ignore (Mss.sign sk "c"))
+
+let test_mss_cross_key_rejection () =
+  let sk1 = Mss.generate ~height:2 ~seed:"mss-a" () in
+  let sk2 = Mss.generate ~height:2 ~seed:"mss-b" () in
+  let s = Mss.sign sk1 "msg" in
+  Alcotest.(check bool) "other key rejects" false (Mss.verify (Mss.public sk2) "msg" s)
+
+let test_mss_codec_roundtrip () =
+  let sk = Mss.generate ~height:2 ~seed:"mss-codec" () in
+  let s = Mss.sign sk "msg" in
+  let s' = Codec.decode Mss.decode_signature (Codec.encode Mss.encode_signature s) in
+  Alcotest.(check bool) "roundtrip verifies" true (Mss.verify (Mss.public sk) "msg" s')
+
+(* --- Keys / identities --------------------------------------------------- *)
+
+let test_keys_deterministic () =
+  let a = Keys.create "alice-crypto-test" in
+  let b = Keys.create "alice-crypto-test" in
+  Alcotest.(check string) "same public key" (Keys.public a) (Keys.public b);
+  Alcotest.(check string) "same address" (Keys.address a) (Keys.address b)
+
+let test_keys_sign_verify () =
+  let id = Keys.create "signer-crypto-test" in
+  let s = Keys.sign id "payload" in
+  Alcotest.(check bool) "verifies" true (Keys.verify (Keys.public id) "payload" s);
+  Alcotest.(check bool) "binds message" false (Keys.verify (Keys.public id) "payloae" s)
+
+let test_keys_address_len () =
+  let id = Keys.create "addr-crypto-test" in
+  Alcotest.(check int) "20 bytes" Keys.address_len (String.length (Keys.address id))
+
+(* --- Multisig ------------------------------------------------------------ *)
+
+let test_multisig_verify () =
+  let ids = [ Keys.create "ms-a"; Keys.create "ms-b"; Keys.create "ms-c" ] in
+  let ms = Multisig.create ~message:"graph D at t" ids in
+  let expected = List.map Keys.public ids in
+  Alcotest.(check bool) "verifies" true (Multisig.verify ~expected_signers:expected ms)
+
+let test_multisig_signer_set_mismatch () =
+  let ids = [ Keys.create "ms-a"; Keys.create "ms-b" ] in
+  let ms = Multisig.create ~message:"m" ids in
+  let wrong = [ Keys.public (Keys.create "ms-a"); Keys.public (Keys.create "ms-z") ] in
+  Alcotest.(check bool) "wrong signer set rejected" false
+    (Multisig.verify ~expected_signers:wrong ms)
+
+let test_multisig_missing_signer () =
+  let a = Keys.create "ms-a" and b = Keys.create "ms-b" in
+  let ms = Multisig.create ~message:"m" [ a ] in
+  Alcotest.(check bool) "incomplete set rejected" false
+    (Multisig.verify ~expected_signers:[ Keys.public a; Keys.public b ] ms)
+
+let test_multisig_order_insensitive () =
+  let a = Keys.create "ms-a" and b = Keys.create "ms-b" in
+  let ms = Multisig.create ~message:"m2" [ b; a ] in
+  Alcotest.(check bool) "any signing order accepted" true
+    (Multisig.verify ~expected_signers:[ Keys.public a; Keys.public b ] ms)
+
+let test_multisig_id_distinct () =
+  let a = Keys.create "ms-a" in
+  let m1 = Multisig.create ~message:"m1" [ a ] in
+  let m2 = Multisig.create ~message:"m2" [ a ] in
+  Alcotest.(check bool) "ids differ per message" true (Multisig.id m1 <> Multisig.id m2)
+
+(* --- Additional edge cases ------------------------------------------------ *)
+
+let test_sha256_digest2 () =
+  Alcotest.(check string) "double hash composes" (Sha256.digest (Sha256.digest "x"))
+    (Sha256.digest2 "x")
+
+let test_merkle_proof_out_of_range () =
+  Alcotest.check_raises "negative index" (Invalid_argument "Merkle.proof: index out of range")
+    (fun () -> ignore (Merkle.proof [ "a" ] (-1)));
+  Alcotest.check_raises "past end" (Invalid_argument "Merkle.proof: index out of range")
+    (fun () -> ignore (Merkle.proof [ "a" ] 1))
+
+let test_merkle_proof_lengths () =
+  (* Height grows logarithmically. *)
+  let n8 = Merkle.proof_length (Merkle.proof (leaves 8) 0) in
+  let n9 = Merkle.proof_length (Merkle.proof (leaves 9) 0) in
+  Alcotest.(check int) "8 leaves -> 3 levels" 3 n8;
+  Alcotest.(check int) "9 leaves -> 4 levels" 4 n9
+
+let qcheck_merkle_cross_index_rejection =
+  QCheck.Test.make ~name:"a proof for index i never verifies leaf j<>i" ~count:50
+    QCheck.(pair (int_range 2 20) (int_range 0 100))
+    (fun (n, k) ->
+      let ls = leaves n in
+      let i = k mod n in
+      let j = (i + 1) mod n in
+      let root = Merkle.root ls in
+      not (Merkle.verify ~root ~leaf:(List.nth ls j) (Merkle.proof ls i)))
+
+let test_keys_distinct_labels_distinct_keys () =
+  let a = Keys.create "distinct-a" and b = Keys.create "distinct-b" in
+  Alcotest.(check bool) "different pks" true (Keys.public a <> Keys.public b);
+  Alcotest.(check bool) "different addresses" true (Keys.address a <> Keys.address b)
+
+let test_keys_signature_not_transferable () =
+  let a = Keys.create "xfer-a" and b = Keys.create "xfer-b" in
+  let s = Keys.sign a "msg" in
+  Alcotest.(check bool) "b's key rejects a's signature" false (Keys.verify (Keys.public b) "msg" s)
+
+let test_keys_remaining_decreases () =
+  let id = Keys.create ~height:3 "remaining-counter" in
+  let before = Keys.remaining_signatures id in
+  ignore (Keys.sign id "x");
+  Alcotest.(check int) "one fewer" (before - 1) (Keys.remaining_signatures id)
+
+let test_multisig_codec_roundtrip () =
+  let ids = [ Keys.create "msc-a"; Keys.create "msc-b" ] in
+  let ms = Multisig.create ~message:"payload" ids in
+  let ms' = Multisig.of_bytes (Multisig.to_bytes ms) in
+  Alcotest.(check bool) "roundtrip verifies" true
+    (Multisig.verify ~expected_signers:(List.map Keys.public ids) ms');
+  Alcotest.(check string) "same id" (Hex.encode (Multisig.id ms)) (Hex.encode (Multisig.id ms'))
+
+let test_multisig_extend () =
+  let a = Keys.create "ext-a" and b = Keys.create "ext-b" in
+  let ms = Multisig.create ~message:"m" [ a ] in
+  let ms = Multisig.extend ms b in
+  Alcotest.(check bool) "complete after extension" true
+    (Multisig.verify ~expected_signers:[ Keys.public a; Keys.public b ] ms)
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "hex",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "cases" `Quick test_hex_cases;
+          Alcotest.test_case "invalid input" `Quick test_hex_invalid;
+          QCheck_alcotest.to_alcotest qcheck_hex_roundtrip;
+        ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "NIST vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "million a (streaming)" `Slow test_sha256_million_a;
+          Alcotest.test_case "streaming = one-shot" `Quick test_sha256_streaming_matches_oneshot;
+          Alcotest.test_case "digest_list" `Quick test_sha256_digest_list;
+          QCheck_alcotest.to_alcotest qcheck_sha256_deterministic;
+          QCheck_alcotest.to_alcotest qcheck_sha256_boundary_lengths;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "constant-time equal" `Quick test_hmac_equal;
+        ] );
+      ( "drbg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_drbg_deterministic;
+          Alcotest.test_case "label separation" `Quick test_drbg_label_separation;
+          Alcotest.test_case "indexed expand" `Quick test_drbg_expand_indexed;
+        ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "empty and single" `Quick test_merkle_empty_and_single;
+          Alcotest.test_case "proofs at many sizes" `Quick test_merkle_proofs_all_sizes;
+          Alcotest.test_case "wrong leaf rejected" `Quick test_merkle_rejects_wrong_leaf;
+          Alcotest.test_case "wrong root rejected" `Quick test_merkle_rejects_wrong_root;
+          Alcotest.test_case "order sensitivity" `Quick test_merkle_order_sensitivity;
+          Alcotest.test_case "proof codec roundtrip" `Quick test_merkle_proof_codec_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_merkle_random;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "integers" `Quick test_codec_integers;
+          Alcotest.test_case "compound" `Quick test_codec_compound;
+          Alcotest.test_case "trailing rejected" `Quick test_codec_trailing_rejected;
+          Alcotest.test_case "truncation rejected" `Quick test_codec_truncation_rejected;
+          QCheck_alcotest.to_alcotest qcheck_codec_float;
+        ] );
+      ( "lamport",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_lamport_sign_verify;
+          Alcotest.test_case "wrong key" `Quick test_lamport_wrong_key;
+          Alcotest.test_case "signature size" `Quick test_lamport_size;
+        ] );
+      ( "wots",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_wots_sign_verify;
+          Alcotest.test_case "tag separation" `Quick test_wots_tag_separation;
+          Alcotest.test_case "tampered signature" `Quick test_wots_tampered_signature;
+          Alcotest.test_case "codec roundtrip" `Quick test_wots_codec_roundtrip;
+        ] );
+      ( "mss",
+        [
+          Alcotest.test_case "many messages" `Quick test_mss_many_messages;
+          Alcotest.test_case "exhaustion" `Quick test_mss_exhaustion;
+          Alcotest.test_case "cross-key rejection" `Quick test_mss_cross_key_rejection;
+          Alcotest.test_case "codec roundtrip" `Quick test_mss_codec_roundtrip;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "deterministic" `Quick test_keys_deterministic;
+          Alcotest.test_case "sign/verify" `Quick test_keys_sign_verify;
+          Alcotest.test_case "address length" `Quick test_keys_address_len;
+        ] );
+      ( "multisig",
+        [
+          Alcotest.test_case "verify" `Quick test_multisig_verify;
+          Alcotest.test_case "signer set mismatch" `Quick test_multisig_signer_set_mismatch;
+          Alcotest.test_case "missing signer" `Quick test_multisig_missing_signer;
+          Alcotest.test_case "order insensitive" `Quick test_multisig_order_insensitive;
+          Alcotest.test_case "ids distinct" `Quick test_multisig_id_distinct;
+          Alcotest.test_case "codec roundtrip" `Quick test_multisig_codec_roundtrip;
+          Alcotest.test_case "extend" `Quick test_multisig_extend;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "digest2 composes" `Quick test_sha256_digest2;
+          Alcotest.test_case "merkle proof out of range" `Quick test_merkle_proof_out_of_range;
+          Alcotest.test_case "merkle proof lengths" `Quick test_merkle_proof_lengths;
+          QCheck_alcotest.to_alcotest qcheck_merkle_cross_index_rejection;
+          Alcotest.test_case "distinct labels distinct keys" `Quick
+            test_keys_distinct_labels_distinct_keys;
+          Alcotest.test_case "signatures not transferable" `Quick
+            test_keys_signature_not_transferable;
+          Alcotest.test_case "remaining decreases" `Quick test_keys_remaining_decreases;
+        ] );
+    ]

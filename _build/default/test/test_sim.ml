@@ -1,0 +1,254 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+open Ac3_sim
+
+(* --- Rng -------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 3 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential r ~mean:5.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean close to 5" true (abs_float (mean -. 5.0) < 0.25)
+
+let test_rng_bernoulli_rate () =
+  let r = Rng.create 4 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate close to 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_rng_bytes_length () =
+  let r = Rng.create 5 in
+  List.iter
+    (fun n -> Alcotest.(check int) "length" n (Bytes.length (Rng.bytes r n)))
+    [ 0; 1; 7; 8; 9; 32; 100 ]
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 6 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Heap ------------------------------------------------------------- *)
+
+let test_heap_sorts () =
+  let h = Heap.create compare in
+  let input = [ 5; 3; 9; 1; 7; 2; 8; 0; 4; 6 ] in
+  List.iter (Heap.push h) input;
+  Alcotest.(check (list int)) "ascending" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (Heap.to_list h)
+
+let test_heap_peek_pop () =
+  let h = Heap.create compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "drained" None (Heap.pop h)
+
+let test_heap_random_qcheck =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.create compare in
+      List.iter (Heap.push h) l;
+      Heap.to_list h = List.sort compare l)
+
+(* --- Engine ----------------------------------------------------------- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log));
+  ignore (Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log));
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "scheduling order at equal time" (List.init 10 Fun.id)
+    (List.rev !log)
+
+let test_engine_cancellation () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  ignore (Engine.run e);
+  Alcotest.(check bool) "cancelled event does not fire" false !fired
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         times := Engine.now e :: !times;
+         ignore (Engine.schedule e ~delay:1.5 (fun () -> times := Engine.now e :: !times))));
+  ignore (Engine.run e);
+  Alcotest.(check (list (float 1e-9))) "nested times" [ 1.0; 2.5 ] (List.rev !times)
+
+let test_engine_horizon () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> incr fired));
+  ignore (Engine.run ~until:2.0 e);
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 2.0 (Engine.now e);
+  ignore (Engine.run e);
+  Alcotest.(check int) "second fires later" 2 !fired
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  ignore (Engine.run e);
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Engine.schedule_at: time 0.500000 is in the past (now 1.000000)")
+    (fun () -> ignore (Engine.schedule_at e ~time:0.5 (fun () -> ())))
+
+let test_engine_repeating () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let stop = Engine.schedule_repeating e ~first:1.0 ~every:1.0 (fun () -> incr count) in
+  ignore (Engine.run ~until:5.5 e);
+  stop ();
+  ignore (Engine.run ~until:10.0 e);
+  Alcotest.(check int) "fired until stopped" 5 !count
+
+(* --- Trace ------------------------------------------------------------ *)
+
+let test_trace_spans () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1.0 "start";
+  Trace.record tr ~time:2.0 "deploy";
+  Trace.record tr ~time:4.0 "deploy";
+  Trace.record tr ~time:9.0 "done";
+  Alcotest.(check (option (float 1e-9))) "span" (Some 8.0) (Trace.span tr ~from_:"start" ~to_:"done");
+  Alcotest.(check (option (float 1e-9)))
+    "span_to_last" (Some 3.0)
+    (Trace.span_to_last tr ~from_:"start" ~to_:"deploy");
+  Alcotest.(check int) "find_all" 2 (List.length (Trace.find_all tr "deploy"));
+  Alcotest.(check (option (float 1e-9))) "missing" None (Trace.span tr ~from_:"start" ~to_:"nope")
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "variance" 2.5 (Stats.variance xs);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.minimum xs);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.maximum xs);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median xs)
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Stats.percentile xs 95.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Stats.percentile xs 99.0)
+
+let test_stats_histogram () =
+  let xs = [ 0.5; 1.5; 1.6; 2.5; 9.9; -1.0; 10.0 ] in
+  let h = Stats.histogram ~lo:0.0 ~hi:10.0 ~buckets:10 xs in
+  Alcotest.(check int) "bucket 0" 1 h.(0);
+  Alcotest.(check int) "bucket 1" 2 h.(1);
+  Alcotest.(check int) "bucket 2" 1 h.(2);
+  Alcotest.(check int) "bucket 9" 1 h.(9);
+  Alcotest.(check int) "total inside" 5 (Array.fold_left ( + ) 0 h)
+
+let test_stats_wilson () =
+  let lo, hi = Stats.wilson_interval ~successes:0 ~trials:100 in
+  Alcotest.(check (float 1e-9)) "zero successes -> lo 0" 0.0 lo;
+  Alcotest.(check bool) "hi small but positive" true (hi > 0.0 && hi < 0.05);
+  let lo2, hi2 = Stats.wilson_interval ~successes:50 ~trials:100 in
+  Alcotest.(check bool) "centered" true (lo2 < 0.5 && 0.5 < hi2)
+
+let qcheck_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean lies within min..max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+          Alcotest.test_case "bytes length" `Quick test_rng_bytes_length;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop;
+          QCheck_alcotest.to_alcotest test_heap_random_qcheck;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "cancellation" `Quick test_engine_cancellation;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "horizon" `Quick test_engine_horizon;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "repeating" `Quick test_engine_repeating;
+        ] );
+      ("trace", [ Alcotest.test_case "spans" `Quick test_trace_spans ]);
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "wilson interval" `Quick test_stats_wilson;
+          QCheck_alcotest.to_alcotest qcheck_stats_mean_bounds;
+        ] );
+    ]
