@@ -1,12 +1,15 @@
 (* ac3: command-line driver for the AC3WN reproduction.
 
      ac3 swap     — execute an AC2T on the simulator with a chosen protocol
+     ac3 verify   — static verification: graph lints, timelocks, state machines
      ac3 analyze  — print the paper's analytical models (Sec 6)
      ac3 attack   — run 51% witness-attack races (Sec 6.3)
 
    Examples:
      dune exec bin/ac3.exe -- swap --protocol ac3wn --scenario ring --parties 4
      dune exec bin/ac3.exe -- swap --protocol nolan --crash
+     dune exec bin/ac3.exe -- verify
+     dune exec bin/ac3.exe -- verify --protocol herlihy --scenario ring --slack=-1
      dune exec bin/ac3.exe -- analyze
      dune exec bin/ac3.exe -- attack -q 0.35 --trials 500 *)
 
@@ -157,6 +160,120 @@ let swap_cmd =
     (Cmd.info "swap" ~doc:"Execute an atomic cross-chain transaction on the simulator")
     Term.(const run_swap $ protocol $ scenario $ parties $ seed $ crash $ verbose)
 
+(* --- verify ----------------------------------------------------------------- *)
+
+module V = Ac3_verify.Verify
+module Diagnostic = Ac3_verify.Diagnostic
+module Probes = Ac3_verify.Probes
+
+(* Scenario graphs need identities and a timestamp but no universe: the
+   whole point of the static passes is that nothing touches a chain. *)
+let scenario_graph ~scenario ~parties =
+  let ns = "verify" in
+  match scenario with
+  | Two_party -> S.two_party_graph ~chain1:"btc" ~chain2:"eth" (S.identities ~ns 2) ~timestamp:1.0
+  | Ring ->
+      let n = max 2 parties in
+      let chains = List.init n (Printf.sprintf "chain%d") in
+      S.ring_graph ~chains (S.identities ~ns n) ~timestamp:1.0
+  | Cyclic -> S.cyclic_graph ~chains:[ "c1"; "c2"; "c3" ] (S.identities ~ns 3) ~timestamp:1.0
+  | Disconnected ->
+      S.disconnected_graph ~chains:[ "c1"; "c2"; "c3"; "c4" ] (S.identities ~ns 4) ~timestamp:1.0
+  | Supply_chain ->
+      S.supply_chain_graph ~chains:[ "payments"; "titles"; "freight" ] (S.identities ~ns 4)
+        ~timestamp:1.0
+
+let scenario_name = function
+  | Two_party -> "two-party"
+  | Ring -> "ring"
+  | Cyclic -> "cyclic"
+  | Disconnected -> "disconnected"
+  | Supply_chain -> "supply-chain"
+
+let print_section ~quiet (name, diags) =
+  let errors = Diagnostic.errors diags in
+  Fmt.pr "== %s: %s@." name (if errors = [] then "ok" else "FAIL");
+  let shown =
+    if quiet then List.filter (fun d -> d.Diagnostic.severity <> Diagnostic.Info) diags
+    else diags
+  in
+  List.iter (fun d -> Fmt.pr "   %a@." Diagnostic.pp d) shown;
+  errors <> []
+
+let run_verify protocol scenario parties delta slack quiet =
+  let herlihy_over scenarios =
+    List.map
+      (fun s ->
+        ( Printf.sprintf "herlihy preflight (%s)" (scenario_name s),
+          V.herlihy_preflight ~graph:(scenario_graph ~scenario:s ~parties) ~delta
+            ~timelock_slack:slack ~start_time:0.0 ))
+      scenarios
+  in
+  let ac3wn_over scenarios =
+    List.map
+      (fun s ->
+        ( Printf.sprintf "ac3wn preflight (%s)" (scenario_name s),
+          V.ac3wn_preflight ~graph:(scenario_graph ~scenario:s ~parties) ))
+      scenarios
+  in
+  let contracts () =
+    [
+      ("state machine (htlc)", V.contract (Probes.htlc ()));
+      ("state machine (ac3tw-swap)", V.contract (Probes.centralized ()));
+      ("state machine (ac3wn-witness)", V.contract (Probes.witness ()));
+    ]
+  in
+  let sections =
+    match (protocol, scenario) with
+    | Some Herlihy, Some s | Some Nolan, Some s -> herlihy_over [ s ]
+    | Some Ac3wn, Some s | Some Ac3tw, Some s -> ac3wn_over [ s ]
+    | (Some Herlihy | Some Nolan), None -> herlihy_over [ Two_party; Ring ]
+    | (Some Ac3wn | Some Ac3tw), None ->
+        ac3wn_over [ Two_party; Ring; Cyclic; Disconnected; Supply_chain ]
+    | None, Some s -> herlihy_over [ s ] @ ac3wn_over [ s ]
+    | None, None ->
+        (* The default gate: every built-in scenario under the protocol
+           profile that would actually run it, plus the contract state
+           machines. *)
+        herlihy_over [ Two_party; Ring ]
+        @ ac3wn_over [ Two_party; Ring; Cyclic; Disconnected; Supply_chain ]
+        @ contracts ()
+  in
+  let failures = List.filter (fun sec -> print_section ~quiet sec) sections in
+  if failures = [] then begin
+    Fmt.pr "@.verify: %d section(s), all ok@." (List.length sections);
+    0
+  end
+  else begin
+    Fmt.pr "@.verify: %d of %d section(s) FAILED@." (List.length failures)
+      (List.length sections);
+    2
+  end
+
+let verify_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt (some protocol_conv) None
+      & info [ "protocol"; "p" ] ~doc:"Restrict to one protocol's profile.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some scenario_conv) None
+      & info [ "scenario"; "s" ] ~doc:"Restrict to one scenario graph.")
+  in
+  let parties = Arg.(value & opt int 4 & info [ "parties"; "n" ] ~doc:"Ring size (ring scenario).") in
+  let delta = Arg.(value & opt float 15.0 & info [ "delta" ] ~doc:"Timelock unit (virtual seconds).") in
+  let slack =
+    Arg.(value & opt float 2.0 & info [ "slack" ] ~doc:"Extra deltas of timelock margin.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Hide info-level diagnostics.") in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Statically verify AC2T graphs, timelock assignments and contract state machines")
+    Term.(const run_verify $ protocol $ scenario $ parties $ delta $ slack $ quiet)
+
 (* --- analyze ----------------------------------------------------------------- *)
 
 let run_analyze () =
@@ -216,4 +333,4 @@ let attack_cmd =
 
 let () =
   let doc = "Atomic commitment across blockchains (AC3WN reproduction)" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "ac3" ~doc) [ swap_cmd; analyze_cmd; attack_cmd ]))
+  exit (Cmd.eval' (Cmd.group (Cmd.info "ac3" ~doc) [ swap_cmd; verify_cmd; analyze_cmd; attack_cmd ]))

@@ -11,7 +11,6 @@
 module U = Ac3_core.Universe
 module S = Ac3_core.Scenarios
 module A = Ac3_core.Ac3wn
-module H = Ac3_core.Herlihy
 module Ac2t = Ac3_contract.Ac2t
 
 let () =

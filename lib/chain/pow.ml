@@ -1,7 +1,6 @@
 (* Proof of work: a block header is valid when its double-SHA-256 hash,
    read as a 256-bit big-endian number, is at or below the target. *)
 
-module Sha256 = Ac3_crypto.Sha256
 
 (* Target with [bits] required leading zero bits: 2^(256-bits) - 1 encoded
    big-endian over 32 bytes. *)

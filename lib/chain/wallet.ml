@@ -25,13 +25,24 @@ let next_nonce t =
   t.nonce <- Int64.add n 1L;
   n
 
-(* Greedy coin selection over the wallet's UTXOs at the node's tip. *)
+(* Greedy coin selection over the wallet's UTXOs at the node's tip.
+   Outpoints already spent by a transaction pending in the node's mempool
+   (typically this wallet's own earlier submission in the same tick) are
+   off limits: reusing one would build a double spend that miners
+   silently drop. *)
 let select_coins t ~total =
+  let pending_spent op =
+    List.exists
+      (fun (tx : Tx.t) -> List.exists (fun (i : Tx.input) -> Outpoint.equal i.outpoint op) tx.inputs)
+      (Mempool.to_list (Node.mempool t.node))
+  in
   let utxos =
     (* Deterministic order so runs replay identically. *)
     List.sort
       (fun (a, _) (b, _) -> Outpoint.compare a b)
-      (Ledger.utxos_of (Node.ledger t.node) (address t))
+      (List.filter
+         (fun (op, _) -> not (pending_spent op))
+         (Ledger.utxos_of (Node.ledger t.node) (address t)))
   in
   let rec pick acc covered = function
     | _ when Amount.compare covered total >= 0 -> Some (List.rev acc, Amount.(covered - total))

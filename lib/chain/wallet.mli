@@ -18,7 +18,10 @@ val public : t -> Keys.public
 val balance : t -> Amount.t
 
 (** Build and sign a transaction (outputs + payload + fee + change) from
-    the wallet's UTXOs. [Error] if funds are insufficient. *)
+    the wallet's UTXOs. Outpoints spent by transactions still pending in
+    the node's mempool (e.g. this wallet's own earlier submissions) are
+    never selected — reusing one would create a double spend that miners
+    drop. [Error] if the remaining funds are insufficient. *)
 val build : t -> ?payload:Tx.payload -> outputs:Tx.output list -> unit -> (Tx.t, string) result
 
 (** Build, sign, and submit; returns the txid. *)

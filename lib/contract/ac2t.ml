@@ -26,10 +26,16 @@ type t = {
 
 let create ~edges ~timestamp =
   if edges = [] then invalid_arg "Ac2t.create: no edges";
+  let seen = Hashtbl.create 16 in
   List.iter
     (fun e ->
       if String.equal e.from_pk e.to_pk then invalid_arg "Ac2t.create: self-edge";
-      if Amount.is_zero e.amount then invalid_arg "Ac2t.create: zero-amount edge")
+      if Amount.is_zero e.amount then invalid_arg "Ac2t.create: zero-amount edge";
+      (* Two byte-identical edges would deploy two contracts with the same
+         canonical encoding; the redeem of one is replayable on the other. *)
+      let key = (e.from_pk, e.to_pk, Amount.to_string e.amount, e.chain) in
+      if Hashtbl.mem seen key then invalid_arg "Ac2t.create: duplicate edge";
+      Hashtbl.add seen key ())
     edges;
   { edges; timestamp }
 

@@ -13,8 +13,11 @@ type edge = {
 
 type t
 
-(** Raises [Invalid_argument] on empty graphs, self-edges or zero
-    amounts. *)
+(** Raises [Invalid_argument] on empty graphs, self-edges, zero
+    amounts, or duplicate identical edges (same endpoints, amount and
+    chain — their contracts would share a canonical encoding).
+    {!Ac3_verify.Graph_lint.lint_edges} reports the same conditions as
+    diagnostics instead of raising. *)
 val create : edges:edge list -> timestamp:float -> t
 
 val edges : t -> edge list

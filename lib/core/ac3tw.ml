@@ -15,7 +15,6 @@
 module Engine = Ac3_sim.Engine
 module Trace = Ac3_sim.Trace
 module Keys = Ac3_crypto.Keys
-module Multisig = Ac3_crypto.Multisig
 module Ac2t = Ac3_contract.Ac2t
 module Centralized_sc = Ac3_contract.Centralized_sc
 module Swap_template = Ac3_contract.Swap_template

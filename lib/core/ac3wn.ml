@@ -409,12 +409,20 @@ type result = {
    participant the moment a phase starts). [abort_after] requests the
    refund path after that many virtual seconds if SCw is still
    undecided. *)
-let execute universe ~config ~graph ~participants ?(hooks = []) ?abort_after () =
+let execute universe ~config ~graph ~participants ?(hooks = []) ?abort_after ?(verify = false) () =
   let by_pk = List.map (fun p -> (Participant.public p, p)) participants in
   List.iter
     (fun pk ->
       if not (List.mem_assoc pk by_pk) then invalid_arg "Ac3wn.execute: missing participant")
     (Ac2t.participants graph);
+  (if verify then
+     let preflight =
+       Ac3_verify.Diagnostic.errors (Ac3_verify.Verify.ac3wn_preflight ~graph)
+     in
+     if preflight <> [] then
+       invalid_arg
+         (Fmt.str "Ac3wn.execute: static verification failed:@.%s"
+            (Ac3_verify.Verify.render preflight)));
   (* Phase 1: off-chain agreement — every participant signs (D, t). *)
   let ms = Ac2t.multisign graph (List.map Participant.identity participants) in
   let run =

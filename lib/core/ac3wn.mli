@@ -44,7 +44,9 @@ type result = {
     ["authorize_redeem_submitted"]) to callbacks, letting experiments
     crash participants at precise protocol phases. [abort_after]
     requests the refund path after that many virtual seconds if SCw is
-    still undecided. *)
+    still undecided. With [~verify:true] the static graph lints
+    ({!Ac3_verify.Verify.ac3wn_preflight}) run first; any error raises
+    [Invalid_argument] before anything touches a chain. *)
 val execute :
   Universe.t ->
   config:config ->
@@ -52,6 +54,7 @@ val execute :
   participants:Participant.t list ->
   ?hooks:(string * (unit -> unit)) list ->
   ?abort_after:float ->
+  ?verify:bool ->
   unit ->
   result
 

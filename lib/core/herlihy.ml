@@ -293,10 +293,19 @@ type result = {
   fees : fee_entry list;
 }
 
-let execute universe ~config ~graph ~participants ?(hooks = []) () =
+let execute universe ~config ~graph ~participants ?(hooks = []) ?(verify = false) () =
   let by_pk = List.map (fun p -> (Participant.public p, p)) participants in
   let leader = List.hd (Ac2t.participants graph) in
-  if not (Ac2t.single_leader_executable graph leader) then
+  let preflight =
+    if not verify then []
+    else
+      Ac3_verify.Diagnostic.errors
+        (Ac3_verify.Verify.herlihy_preflight ~graph ~delta:config.delta
+           ~timelock_slack:config.timelock_slack ~start_time:(Universe.now universe))
+  in
+  if preflight <> [] then
+    Error (Fmt.str "static verification failed:@.%s" (Ac3_verify.Verify.render preflight))
+  else if not (Ac2t.single_leader_executable graph leader) then
     Error
       (Fmt.str "graph (%a) is not executable by a single-leader protocol (Sec 5.3)"
          Ac2t.pp_shape (Ac2t.classify graph))

@@ -37,13 +37,16 @@ type result = {
     [Error] if the graph is not single-leader executable (disconnected,
     or cyclic once the leader is removed — Sec 5.3). [hooks] fire on
     trace labels such as ["deploy:2"] or ["redeem:1"] (per-edge indexes
-    in graph order). *)
+    in graph order). With [~verify:true] the static verifier
+    ({!Ac3_verify.Verify.herlihy_preflight}) runs first and any error
+    diagnostic aborts the run before anything touches a chain. *)
 val execute :
   Universe.t ->
   config:config ->
   graph:Ac2t.t ->
   participants:Participant.t list ->
   ?hooks:(string * (unit -> unit)) list ->
+  ?verify:bool ->
   unit ->
   (result, string) Stdlib.result
 

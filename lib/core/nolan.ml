@@ -19,10 +19,10 @@ type result = Herlihy.result
 
 (* Execute a two-party swap. Raises [Invalid_argument] if the graph is
    not a simple two-party swap. *)
-let execute universe ~config ~graph ~participants ?hooks () =
+let execute universe ~config ~graph ~participants ?hooks ?verify () =
   if Ac2t.classify graph <> Ac2t.Simple_swap then
     invalid_arg "Nolan.execute: graph is not a two-party swap";
-  match Herlihy.execute universe ~config ~graph ~participants ?hooks () with
+  match Herlihy.execute universe ~config ~graph ~participants ?hooks ?verify () with
   | Ok r -> r
   | Error e -> invalid_arg ("Nolan.execute: " ^ e)
 

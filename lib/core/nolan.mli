@@ -9,13 +9,15 @@ val default_config : delta:float -> config
 type result = Herlihy.result
 
 (** Execute a two-party swap. Raises [Invalid_argument] if the graph is
-    not a simple two-party swap. *)
+    not a simple two-party swap, or if [~verify:true] and the static
+    verifier rejects the run. *)
 val execute :
   Universe.t ->
   config:config ->
   graph:Ac3_contract.Ac2t.t ->
   participants:Participant.t list ->
   ?hooks:(string * (unit -> unit)) list ->
+  ?verify:bool ->
   unit ->
   result
 

@@ -1,0 +1,37 @@
+(* Structured diagnostics for the static verification passes. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  severity : severity;
+  rule : string;
+  location : string;
+  message : string;
+}
+
+let make severity ~rule ~location fmt =
+  Fmt.kstr (fun message -> { severity; rule; location; message }) fmt
+
+let info ~rule ~location fmt = make Info ~rule ~location fmt
+
+let warning ~rule ~location fmt = make Warning ~rule ~location fmt
+
+let error ~rule ~location fmt = make Error ~rule ~location fmt
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let by_rule rule ds = List.filter (fun d -> String.equal d.rule rule) ds
+
+let pp_severity ppf = function
+  | Info -> Fmt.string ppf "info"
+  | Warning -> Fmt.string ppf "warning"
+  | Error -> Fmt.string ppf "error"
+
+let pp ppf d =
+  Fmt.pf ppf "%a[%s] %s: %s" pp_severity d.severity d.rule d.location d.message
+
+let pp_list ppf ds = Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut pp) ds
+
+let to_string d = Fmt.str "%a" pp d

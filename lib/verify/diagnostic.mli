@@ -1,0 +1,37 @@
+(** Structured diagnostics emitted by the static verification passes.
+
+    Every rule violation is reported as a value rather than an exception
+    or a log line, so callers (the [ac3 verify] CLI, the [?verify]
+    precondition hooks, tests) can filter, count and render them
+    uniformly. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  severity : severity;
+  rule : string;  (** stable rule id, e.g. ["G002-self-edge"] *)
+  location : string;  (** what the rule fired on, e.g. ["edge 3 (ab12cd->ef34ab @btc)"] *)
+  message : string;
+}
+
+val info : rule:string -> location:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warning : rule:string -> location:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val error : rule:string -> location:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val errors : t list -> t list
+
+val has_errors : t list -> bool
+
+(** Diagnostics matching a rule id. *)
+val by_rule : string -> t list -> t list
+
+val pp_severity : Format.formatter -> severity -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** One diagnostic per line. *)
+val pp_list : Format.formatter -> t list -> unit
+
+val to_string : t -> string

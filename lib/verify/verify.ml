@@ -1,0 +1,17 @@
+(* Top-level driver composing the three passes. *)
+
+module Ac2t = Ac3_contract.Ac2t
+
+let graph = Graph_lint.lint
+
+let timelocks = Timelock.verify
+
+let contract = State_machine.verify
+
+let herlihy_preflight ~graph ~delta ~timelock_slack ~start_time =
+  Graph_lint.lint ~profile:Graph_lint.Single_leader graph
+  @ Timelock.verify ~graph ~delta ~timelock_slack ~start_time
+
+let ac3wn_preflight ~graph = Graph_lint.lint ~profile:Graph_lint.Witness graph
+
+let render ds = Fmt.str "%a" Diagnostic.pp_list ds

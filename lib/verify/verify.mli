@@ -1,0 +1,39 @@
+(** Top-level driver composing the three static passes.
+
+    The preflight entry points are what {!Ac3_core.Herlihy.execute} and
+    {!Ac3_core.Ac3wn.execute} call under [?verify:true], and what the
+    [ac3 verify] subcommand runs over the built-in scenarios. *)
+
+module Ac2t = Ac3_contract.Ac2t
+
+(** Pass 1 alone (see {!Graph_lint}). *)
+val graph :
+  ?profile:Graph_lint.profile -> ?block_capacity:int -> Ac2t.t -> Diagnostic.t list
+
+(** Pass 2 alone (see {!Timelock}). *)
+val timelocks :
+  graph:Ac2t.t ->
+  delta:float ->
+  timelock_slack:float ->
+  start_time:float ->
+  Diagnostic.t list
+
+(** Pass 3 alone (see {!State_machine}). *)
+val contract : State_machine.spec -> Diagnostic.t list
+
+(** Graph lints under the single-leader profile plus the timelock-order
+    pass: everything that must hold before [Herlihy.execute] (or
+    [Nolan.execute]) may touch a chain. *)
+val herlihy_preflight :
+  graph:Ac2t.t ->
+  delta:float ->
+  timelock_slack:float ->
+  start_time:float ->
+  Diagnostic.t list
+
+(** Graph lints under the witness profile: AC3WN has no timelocks, so
+    well-formedness is the whole static obligation. *)
+val ac3wn_preflight : graph:Ac2t.t -> Diagnostic.t list
+
+(** Multi-line rendering for error messages and CLI output. *)
+val render : Diagnostic.t list -> string

@@ -691,6 +691,38 @@ let test_wallet_change () =
       Alcotest.(check int) "change output" 1 (List.length change)
   | Error e -> Alcotest.fail e
 
+let test_wallet_pending_outpoint_not_reused () =
+  (* Alice's premine is a single UTXO. A second payment submitted before
+     the first confirms must not double-spend it (miners would silently
+     drop the conflicting transaction); once the first is mined the
+     change is spendable and the retry goes through. *)
+  let w = make_world ~seed:27 () in
+  run_until_height w 2;
+  let wallet = Wallet.create ~identity:alice ~node:w.nodes.(0) in
+  let txid1 =
+    match Wallet.pay wallet ~to_:(Keys.address bob) ~amount:(coin 100) with
+    | Ok txid -> txid
+    | Error e -> Alcotest.fail e
+  in
+  (match Wallet.pay wallet ~to_:(Keys.address bob) ~amount:(coin 100) with
+  | Error e ->
+      Alcotest.(check bool) "declines rather than double-spends" true
+        (Astring.String.is_prefix ~affix:"insufficient" e)
+  | Ok _ -> Alcotest.fail "reused an outpoint pending in the mempool");
+  ignore
+    (Engine.run
+       ~stop:(fun () -> Node.confirmations w.nodes.(0) txid1 >= 3)
+       ~until:200_000.0 w.engine);
+  match Wallet.pay wallet ~to_:(Keys.address bob) ~amount:(coin 100) with
+  | Error e -> Alcotest.fail e
+  | Ok txid2 ->
+      ignore
+        (Engine.run
+           ~stop:(fun () -> Node.confirmations w.nodes.(0) txid2 >= 3)
+           ~until:200_000.0 w.engine);
+      Alcotest.(check int64) "both payments landed" 10_000_200L
+        (Node.balance_of w.nodes.(0) (Keys.address bob))
+
 (* --- SPV ---------------------------------------------------------------------- *)
 
 let test_spv_tracks_and_verifies () =
@@ -934,6 +966,8 @@ let () =
         [
           Alcotest.test_case "insufficient funds" `Quick test_wallet_insufficient_funds;
           Alcotest.test_case "change output" `Slow test_wallet_change;
+          Alcotest.test_case "pending outpoint not reused" `Slow
+            test_wallet_pending_outpoint_not_reused;
         ] );
       ( "spv",
         [

@@ -5,7 +5,6 @@
 
 module Keys = Ac3_crypto.Keys
 module Sha256 = Ac3_crypto.Sha256
-module Codec = Ac3_crypto.Codec
 open Ac3_chain
 open Ac3_contract
 
@@ -46,7 +45,18 @@ let test_ac2t_validation () =
       ignore (Ac2t.create ~edges:[ edge alice alice "btc" ] ~timestamp:0.0));
   Alcotest.check_raises "zero amount" (Invalid_argument "Ac2t.create: zero-amount edge")
     (fun () ->
-      ignore (Ac2t.create ~edges:[ edge ~amount:Amount.zero alice bob "btc" ] ~timestamp:0.0))
+      ignore (Ac2t.create ~edges:[ edge ~amount:Amount.zero alice bob "btc" ] ~timestamp:0.0));
+  Alcotest.check_raises "duplicate edge" (Invalid_argument "Ac2t.create: duplicate edge")
+    (fun () ->
+      ignore (Ac2t.create ~edges:[ edge alice bob "btc"; edge alice bob "btc" ] ~timestamp:0.0));
+  (* Same endpoints are fine as long as amount or chain differ: the two
+     contracts have distinct canonical encodings. *)
+  Alcotest.(check int) "parallel edges on distinct chains" 2
+    (List.length (Ac2t.edges (Ac2t.create ~edges:[ edge alice bob "btc"; edge alice bob "eth" ] ~timestamp:0.0)));
+  Alcotest.(check int) "parallel edges with distinct amounts" 2
+    (List.length
+       (Ac2t.edges
+          (Ac2t.create ~edges:[ edge alice bob "btc"; edge ~amount:(coin 7) alice bob "btc" ] ~timestamp:0.0)))
 
 let test_ac2t_multisig () =
   let g = two_party () in

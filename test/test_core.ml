@@ -380,6 +380,42 @@ let test_outcome_logic () =
     (aborted (mk_outcome [ Refunded; Missing ]));
   Alcotest.(check bool) "unsettled is not aborted" false (aborted (mk_outcome [ Published ]))
 
+let test_outcome_status_pairs () =
+  (* Exhaustive truth table over every two-edge status combination,
+     with expectations computed from the statuses alone. *)
+  let open Outcome in
+  let all = [ Missing; Published; Redeemed; Refunded ] in
+  List.iter
+    (fun s1 ->
+      List.iter
+        (fun s2 ->
+          let o = mk_outcome [ s1; s2 ] in
+          let name pred = Fmt.str "%s [%a;%a]" pred pp_status s1 pp_status s2 in
+          let both p = p s1 && p s2 in
+          Alcotest.(check bool) (name "all_redeemed") (both (( = ) Redeemed)) (all_redeemed o);
+          Alcotest.(check bool) (name "none_redeemed") (both (( <> ) Redeemed)) (none_redeemed o);
+          Alcotest.(check bool)
+            (name "all_refunded_or_missing")
+            (both (fun s -> s = Refunded || s = Missing))
+            (all_refunded_or_missing o);
+          Alcotest.(check bool) (name "atomic")
+            (both (( = ) Redeemed) || both (( <> ) Redeemed))
+            (atomic o);
+          Alcotest.(check bool) (name "settled") (both (( <> ) Published)) (settled o);
+          Alcotest.(check bool) (name "committed") (both (( = ) Redeemed)) (committed o);
+          Alcotest.(check bool) (name "aborted")
+            (both (fun s -> s = Refunded || s = Missing))
+            (aborted o))
+        all)
+    all;
+  (* The Missing/Published boundary: neither redeems, so both pair
+     atomically with a refund — but only the never-deployed contract
+     counts as settled (a published one still holds locked assets). *)
+  Alcotest.(check bool) "missing+RF aborted" true (aborted (mk_outcome [ Missing; Refunded ]));
+  Alcotest.(check bool) "published+RF not aborted" false
+    (aborted (mk_outcome [ Published; Refunded ]));
+  Alcotest.(check bool) "published+RF atomic" true (atomic (mk_outcome [ Published; Refunded ]))
+
 (* --- Experiments (Sec 5.2, Sec 4.2 motivation, Lemma 5.3) -------------------- *)
 
 let test_trent_unavailability_locks_assets () =
@@ -469,7 +505,11 @@ let () =
           Alcotest.test_case "stable checkpoint on chain" `Quick
             test_universe_stable_checkpoint_on_chain;
         ] );
-      ("outcome", [ Alcotest.test_case "atomicity logic" `Quick test_outcome_logic ]);
+      ( "outcome",
+        [
+          Alcotest.test_case "atomicity logic" `Quick test_outcome_logic;
+          Alcotest.test_case "exhaustive status pairs" `Quick test_outcome_status_pairs;
+        ] );
       ( "experiments",
         [
           Alcotest.test_case "Trent unavailability locks assets (E11)" `Slow

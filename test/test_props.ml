@@ -244,6 +244,91 @@ let qcheck_swap_state_machine =
           in
           !ok && status_ok && payout_ok)
 
+(* --- Static verification agrees with dynamic execution --------------------------- *)
+
+(* For random single-leader graphs (a ring backbone, optionally a chord),
+   the static timelock pass accepts exactly when a crash-free
+   [Herlihy.execute] run commits atomically: executable graphs pass the
+   verifier and commit; graphs that are cyclic without the leader fail
+   the verifier and are refused by the protocol. The ring backbone
+   guarantees every vertex has a directed path to the leader (no T001),
+   and delta is generous relative to the chains, so the only sources of
+   disagreement would be genuine verifier or protocol bugs. *)
+let qcheck_static_matches_dynamic =
+  let module S = Ac3_core.Scenarios in
+  let module U = Ac3_core.Universe in
+  let module H = Ac3_core.Herlihy in
+  let module V = Ac3_verify.Verify in
+  let module D = Ac3_verify.Diagnostic in
+  let module Ac2t = Ac3_contract.Ac2t in
+  let runs = ref 0 in
+  QCheck.Test.make ~name:"static timelock verdict = crash-free Herlihy outcome" ~count:6
+    QCheck.(triple (int_range 3 4) (int_range 0 2) (int_range 0 97))
+    (fun (n, kind, salt) ->
+      (* QCheck's int shrinker can wander outside int_range bounds;
+         treat such inputs as vacuously true. *)
+      if n < 3 || n > 4 || kind < 0 || kind > 2 || salt < 0 then true
+      else begin
+      incr runs;
+      (* Fresh MSS identities per run, including shrink retries. *)
+      let ns = Printf.sprintf "sv%d-%d-%d-%d" n kind salt !runs in
+      let ids' = S.identities ~ns n in
+      let chains = List.init n (Printf.sprintf "chain%d") in
+      let u, participants =
+        S.make_universe ~seed:(salt + (31 * n) + kind) ~block_interval:5.0 ~confirm_depth:3
+          ~chains ids' ()
+      in
+      U.run_until u 50.0;
+      let ring = Ac2t.edges (S.ring_graph ~chains ids' ~timestamp:(U.now u)) in
+      let pk i = Keys.public (List.nth ids' i) in
+      let i = salt mod (n - 2) in
+      let j = i + 2 in
+      let chord =
+        match kind with
+        | 0 -> [] (* plain ring: executable *)
+        | 1 ->
+            (* forward chord skipping a vertex: still acyclic without the
+               leader, so still executable *)
+            [
+              {
+                Ac2t.from_pk = pk i;
+                to_pk = pk j;
+                amount = coin (7700 + salt);
+                chain = List.nth chains i;
+              };
+            ]
+        | _ ->
+            (* back chord between non-leader vertices: a cycle that
+               survives removing the leader — not executable (Fig 7a) *)
+            let i' = max 1 i in
+            [
+              {
+                Ac2t.from_pk = pk j;
+                to_pk = pk i';
+                amount = coin (8800 + salt);
+                chain = List.nth chains j;
+              };
+            ]
+      in
+      let graph = Ac2t.create ~edges:(ring @ chord) ~timestamp:(U.now u) in
+      let delta = 2.5 *. U.max_delta u in
+      (* Commit completes within ~100 virtual seconds; the timeout only
+         bounds the refund path of a (bug-indicating) aborted run. *)
+      let config = { (H.default_config ~delta) with H.timeout = 5000.0 } in
+      let static_ok =
+        not
+          (D.has_errors
+             (V.herlihy_preflight ~graph ~delta ~timelock_slack:config.H.timelock_slack
+                ~start_time:(U.now u)))
+      in
+      let dynamic_ok =
+        match H.execute u ~config ~graph ~participants () with
+        | Ok r -> r.H.committed && r.H.atomic
+        | Error _ -> false
+      in
+      static_ok = dynamic_ok
+      end)
+
 (* --- Evidence: depth monotonicity ------------------------------------------------ *)
 
 let qcheck_evidence_depth_monotone =
@@ -417,6 +502,8 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_swap_state_machine;
           QCheck_alcotest.to_alcotest qcheck_evidence_depth_monotone;
         ] );
+      ( "verify-invariants",
+        [ QCheck_alcotest.to_alcotest qcheck_static_matches_dynamic ] );
       ("signature-invariants", [ QCheck_alcotest.to_alcotest qcheck_wots_bit_binding ]);
       ( "paper-model",
         [

@@ -1,0 +1,314 @@
+(* Static-verifier tests: graph lints, the timelock-order analysis
+   (including the paper's Sec 3 violation reproduced without running the
+   simulator), bounded exhaustive state-machine exploration of the three
+   contract codes, and the ?verify preflight hooks on the protocol entry
+   points. *)
+
+module Keys = Ac3_crypto.Keys
+module Ac2t = Ac3_contract.Ac2t
+module Amount = Ac3_chain.Amount
+module D = Ac3_verify.Diagnostic
+module Graph_lint = Ac3_verify.Graph_lint
+module Timelock = Ac3_verify.Timelock
+module State_machine = Ac3_verify.State_machine
+module Probes = Ac3_verify.Probes
+module V = Ac3_verify.Verify
+open Ac3_core
+
+let coin n = Amount.of_int n
+
+let alice = Keys.create "verify-test-alice"
+
+let bob = Keys.create "verify-test-bob"
+
+let edge ?(amount = coin 100) from_ to_ chain =
+  { Ac2t.from_pk = Keys.public from_; to_pk = Keys.public to_; amount; chain }
+
+let ids n = Scenarios.identities ~ns:"tv" n
+
+let has rule ds = D.by_rule rule ds <> []
+
+let error_rules ds = List.sort_uniq String.compare (List.map (fun d -> d.D.rule) (D.errors ds))
+
+(* Scenario graphs, built statically (no universe). *)
+let two_party () = Scenarios.two_party_graph ~chain1:"btc" ~chain2:"eth" (ids 2) ~timestamp:1.0
+
+let ring n =
+  Scenarios.ring_graph ~chains:(List.init n (Printf.sprintf "chain%d")) (ids n) ~timestamp:1.0
+
+let cyclic () = Scenarios.cyclic_graph ~chains:[ "c1"; "c2"; "c3" ] (ids 3) ~timestamp:1.0
+
+let disconnected () =
+  Scenarios.disconnected_graph ~chains:[ "c1"; "c2"; "c3"; "c4" ] (ids 4) ~timestamp:1.0
+
+let supply_chain () =
+  Scenarios.supply_chain_graph ~chains:[ "payments"; "titles"; "freight" ] (ids 4) ~timestamp:1.0
+
+(* --- Pass 1: graph lints ------------------------------------------------- *)
+
+let test_lint_edges_structural () =
+  Alcotest.(check (list string)) "empty graph" [ "G001-empty-graph" ] (error_rules (Graph_lint.lint_edges []));
+  Alcotest.(check (list string)) "self edge" [ "G002-self-edge" ]
+    (error_rules (Graph_lint.lint_edges [ edge alice alice "btc" ]));
+  Alcotest.(check (list string)) "zero amount" [ "G003-zero-amount" ]
+    (error_rules (Graph_lint.lint_edges [ edge ~amount:Amount.zero alice bob "btc" ]));
+  Alcotest.(check (list string)) "duplicate edge" [ "G004-duplicate-edge" ]
+    (error_rules (Graph_lint.lint_edges [ edge alice bob "btc"; edge alice bob "btc" ]));
+  (* Same endpoints on distinct chains is legitimate. *)
+  Alcotest.(check (list string)) "well-formed pair" []
+    (error_rules (Graph_lint.lint_edges [ edge alice bob "btc"; edge bob alice "eth" ]))
+
+let test_lint_profiles () =
+  (* Fig 7b: fatal for a single-leader protocol, fine for AC3WN. *)
+  let d = disconnected () in
+  Alcotest.(check bool) "disconnected fails single-leader" true
+    (has "G005-disconnected" (D.errors (Graph_lint.lint ~profile:Graph_lint.Single_leader d)));
+  let witness_view = Graph_lint.lint ~profile:Graph_lint.Witness d in
+  Alcotest.(check bool) "disconnected passes witness" false (D.has_errors witness_view);
+  Alcotest.(check bool) "but is still reported" true (has "G005-disconnected" witness_view);
+  (* Fig 7a: cyclic for every choice of leader. *)
+  let c = cyclic () in
+  Alcotest.(check bool) "cyclic fails single-leader" true
+    (has "G006-leader-cycle" (D.errors (Graph_lint.lint ~profile:Graph_lint.Single_leader c)));
+  Alcotest.(check bool) "cyclic passes witness" false
+    (D.has_errors (Graph_lint.lint ~profile:Graph_lint.Witness c))
+
+let test_lint_conservation_and_capacity () =
+  (* A single transfer: the source pays and never receives. *)
+  let g = Ac2t.create ~edges:[ edge alice bob "btc" ] ~timestamp:1.0 in
+  let ds = Graph_lint.lint g in
+  Alcotest.(check bool) "net payer flagged" true (has "G007-net-payer" ds);
+  Alcotest.(check int) "one delta line per participant" 2
+    (List.length (D.by_rule "G009-value-delta" ds));
+  (* Three contracts on one chain against a capacity of two. *)
+  let carol = Keys.create "verify-test-carol" in
+  let g3 =
+    Ac2t.create
+      ~edges:
+        [
+          edge alice bob "btc";
+          edge ~amount:(coin 200) bob carol "btc";
+          edge ~amount:(coin 300) carol alice "btc";
+        ]
+      ~timestamp:1.0
+  in
+  Alcotest.(check bool) "chain overload" true
+    (has "G008-chain-overload" (Graph_lint.lint ~block_capacity:2 g3));
+  Alcotest.(check bool) "capacity ok when it fits" false
+    (has "G008-chain-overload" (Graph_lint.lint ~block_capacity:4 g3))
+
+(* --- Pass 2: timelock order ----------------------------------------------- *)
+
+let test_timelock_assign_matches_herlihy () =
+  (* Two-party swap, delta 10, slack 2: Diam = 2; the leader's outgoing
+     contract (depth 0) expires at 10*(4+2) = 60, the follower's (depth 1)
+     at 10*(4-1+2) = 50 — exactly Herlihy's t1 > t2 staircase. *)
+  match Timelock.assign ~graph:(two_party ()) ~delta:10.0 ~timelock_slack:2.0 ~start_time:0.0 with
+  | Error e -> Alcotest.fail e
+  | Ok assignments ->
+      Alcotest.(check (list int)) "depths" [ 0; 1 ]
+        (List.map (fun a -> a.Timelock.depth) assignments);
+      Alcotest.(check (list (float 1e-9))) "expiries" [ 60.0; 50.0 ]
+        (List.map (fun a -> a.Timelock.expiry) assignments)
+
+let test_timelock_default_config_passes () =
+  List.iter
+    (fun (name, graph) ->
+      let ds = V.herlihy_preflight ~graph ~delta:15.0 ~timelock_slack:2.0 ~start_time:0.0 in
+      Alcotest.(check (list string)) (name ^ " has no errors") [] (error_rules ds);
+      Alcotest.(check bool) (name ^ " reports its margin") true (has "T003-min-slack" ds))
+    [ ("two-party", two_party ()); ("ring-4", ring 4); ("supply-less ring-3", ring 3) ]
+
+let test_timelock_underslack_counterexample () =
+  (* Slack below the propagation cost: the static pass must reject the
+     assignment and exhibit a concrete redemption path that cannot finish
+     before the expiry — the paper's Sec 3 violation, without simulation. *)
+  let ds = V.herlihy_preflight ~graph:(ring 4) ~delta:15.0 ~timelock_slack:(-1.0) ~start_time:0.0 in
+  let errs = D.errors ds in
+  Alcotest.(check bool) "rejected" true (errs <> []);
+  Alcotest.(check (list string)) "every error is a timelock-order violation"
+    [ "T002-timelock-order" ] (error_rules ds);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "names the Sec 3 violation" true
+        (Astring.String.is_infix ~affix:"Sec 3 violation" d.D.message);
+      Alcotest.(check bool) "carries a counterexample path" true
+        (Astring.String.is_infix ~affix:"redeems (" d.D.message))
+    errs;
+  (* The generous default accepts the same graph (checked above), so the
+     verdict really turns on the slack. *)
+  Alcotest.(check bool) "slack 0 is still enough" false
+    (D.has_errors (V.herlihy_preflight ~graph:(ring 4) ~delta:15.0 ~timelock_slack:0.0 ~start_time:0.0))
+
+let test_timelock_secret_unreachable () =
+  (* The supply-chain DAG's carrier only receives: no redemption of its
+     own can ever reveal the secret to it. *)
+  let ds = V.herlihy_preflight ~graph:(supply_chain ()) ~delta:15.0 ~timelock_slack:2.0 ~start_time:0.0 in
+  Alcotest.(check (list string)) "carrier cannot learn the secret"
+    [ "T001-secret-unreachable" ] (error_rules ds)
+
+let test_timelock_bad_delta () =
+  let ds = Timelock.verify ~graph:(two_party ()) ~delta:0.0 ~timelock_slack:2.0 ~start_time:0.0 in
+  Alcotest.(check bool) "delta must be positive" true (has "T004-bad-delta" (D.errors ds))
+
+(* --- Pass 3: contract state machines --------------------------------------- *)
+
+let test_htlc_automaton_sound () =
+  let spec = Probes.htlc () in
+  Alcotest.(check (list string)) "no errors" [] (error_rules (V.contract spec));
+  match State_machine.explore spec with
+  | Error e -> Alcotest.fail e
+  | Ok auto ->
+      Alcotest.(check bool) "not truncated" false (State_machine.truncated auto);
+      let classes = State_machine.classes auto in
+      Alcotest.(check bool) "redeem reachable" true (List.mem State_machine.Redeemed classes);
+      Alcotest.(check bool) "refund reachable" true (List.mem State_machine.Refunded classes);
+      Alcotest.(check bool) "no off-template states" false (List.mem State_machine.Other classes);
+      (* P, RD, RF — and nothing else: the explicit Algorithm 1 automaton. *)
+      Alcotest.(check int) "three states" 3 (State_machine.node_count auto);
+      (* Every terminal paid out the full deposit exactly. *)
+      List.iter
+        (fun (n : State_machine.node) ->
+          match n.State_machine.cls with
+          | State_machine.Redeemed | State_machine.Refunded ->
+              Alcotest.(check bool)
+                ("terminal " ^ string_of_int n.State_machine.id ^ " conserves the deposit")
+                true
+                (Amount.equal n.State_machine.paid (coin 1000));
+              Alcotest.(check (list (pair string int))) "terminal is absorbing" []
+                n.State_machine.succs
+          | _ -> ())
+        (State_machine.nodes auto)
+
+let test_htlc_stuck_state_detected () =
+  (* Strip the probe set down to wrong-secret redemptions: the automaton
+     degenerates to a single Published state with no exit, which the
+     checker must flag as locked funds. *)
+  let spec = Probes.htlc () in
+  let crippled =
+    {
+      spec with
+      State_machine.probes =
+        List.filter
+          (fun (p : State_machine.probe) ->
+            Astring.String.is_prefix ~affix:"redeem/bad" p.State_machine.label)
+          spec.State_machine.probes;
+    }
+  in
+  let ds = V.contract crippled in
+  Alcotest.(check (list string)) "stuck state reported" [ "S001-stuck-state" ] (error_rules ds)
+
+let test_centralized_and_witness_sound () =
+  Alcotest.(check (list string)) "ac3tw swap contract clean" []
+    (error_rules (V.contract (Probes.centralized ())));
+  let ds = V.contract (Probes.witness ()) in
+  Alcotest.(check (list string)) "witness contract clean" [] (error_rules ds);
+  match State_machine.explore (Probes.witness ()) with
+  | Error e -> Alcotest.fail e
+  | Ok auto ->
+      Alcotest.(check bool) "refund authorization reachable" true
+        (List.mem State_machine.Refunded (State_machine.classes auto))
+
+(* --- The ?verify preflight hooks --------------------------------------------- *)
+
+let fast_universe ?(seed = 7) ~chains n =
+  Scenarios.make_universe ~seed ~block_interval:5.0 ~confirm_depth:3 ~chains
+    (Scenarios.identities ~ns:(Printf.sprintf "tv%d" seed) n) ()
+
+let test_herlihy_verify_rejects_underslack () =
+  let chains = List.init 4 (Printf.sprintf "chain%d") in
+  let u, participants = fast_universe ~seed:801 ~chains 4 in
+  Universe.run_until u 50.0;
+  let ids' = List.map Participant.identity participants in
+  let graph = Scenarios.ring_graph ~chains ids' ~timestamp:(Universe.now u) in
+  let config =
+    { (Herlihy.default_config ~delta:(Universe.max_delta u)) with Herlihy.timelock_slack = -1.0 }
+  in
+  let before = Universe.now u in
+  (match Herlihy.execute u ~config ~graph ~participants ~verify:true () with
+  | Ok _ -> Alcotest.fail "under-slack assignment accepted"
+  | Error e ->
+      Alcotest.(check bool) "names the violated rule" true
+        (Astring.String.is_infix ~affix:"T002-timelock-order" e));
+  (* Rejected before anything touched a chain: no virtual time passed. *)
+  Alcotest.(check (float 1e-9)) "no simulation ran" before (Universe.now u)
+
+let test_nolan_verify_raises () =
+  let u, participants = fast_universe ~seed:802 ~chains:[ "btc"; "eth" ] 2 in
+  Universe.run_until u 50.0;
+  let ids' = List.map Participant.identity participants in
+  let graph = Scenarios.two_party_graph ~chain1:"btc" ~chain2:"eth" ids' ~timestamp:(Universe.now u) in
+  let config =
+    { (Herlihy.default_config ~delta:(Universe.max_delta u)) with Herlihy.timelock_slack = -5.0 }
+  in
+  match Nolan.execute u ~config ~graph ~participants ~verify:true () with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "carries the diagnostics" true
+        (Astring.String.is_infix ~affix:"T002-timelock-order" msg)
+  | _ -> Alcotest.fail "under-slack two-party swap accepted"
+
+let test_herlihy_verify_commits () =
+  let u, participants = fast_universe ~seed:803 ~chains:[ "btc"; "eth" ] 2 in
+  Universe.run_until u 50.0;
+  let ids' = List.map Participant.identity participants in
+  let graph = Scenarios.two_party_graph ~chain1:"btc" ~chain2:"eth" ids' ~timestamp:(Universe.now u) in
+  let config =
+    { (Herlihy.default_config ~delta:(Universe.max_delta u)) with Herlihy.timeout = 5000.0 }
+  in
+  match Herlihy.execute u ~config ~graph ~participants ~verify:true () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "committed" true r.Herlihy.committed;
+      Alcotest.(check bool) "atomic" true r.Herlihy.atomic
+
+let test_ac3wn_preflight_all_scenarios () =
+  (* AC3WN's static obligation is well-formedness only: every built-in
+     scenario — including the Fig 7 shapes — must pass. *)
+  List.iter
+    (fun (name, graph) ->
+      Alcotest.(check (list string)) (name ^ " accepted") [] (error_rules (V.ac3wn_preflight ~graph)))
+    [
+      ("two-party", two_party ());
+      ("ring-4", ring 4);
+      ("cyclic", cyclic ());
+      ("disconnected", disconnected ());
+      ("supply-chain", supply_chain ());
+    ]
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "graph-lint",
+        [
+          Alcotest.test_case "structural rules (G001-G004)" `Quick test_lint_edges_structural;
+          Alcotest.test_case "profiles split on Fig 7 (G005/G006)" `Quick test_lint_profiles;
+          Alcotest.test_case "conservation and capacity (G007-G009)" `Quick
+            test_lint_conservation_and_capacity;
+        ] );
+      ( "timelock",
+        [
+          Alcotest.test_case "assignment matches Herlihy" `Quick test_timelock_assign_matches_herlihy;
+          Alcotest.test_case "default slack passes" `Quick test_timelock_default_config_passes;
+          Alcotest.test_case "under-slack yields Sec 3 counterexample" `Quick
+            test_timelock_underslack_counterexample;
+          Alcotest.test_case "sink participant cannot learn secret" `Quick
+            test_timelock_secret_unreachable;
+          Alcotest.test_case "non-positive delta rejected" `Quick test_timelock_bad_delta;
+        ] );
+      ( "state-machine",
+        [
+          Alcotest.test_case "HTLC automaton sound" `Quick test_htlc_automaton_sound;
+          Alcotest.test_case "stuck state detected" `Quick test_htlc_stuck_state_detected;
+          Alcotest.test_case "AC3TW and witness contracts sound" `Quick
+            test_centralized_and_witness_sound;
+        ] );
+      ( "preflight",
+        [
+          Alcotest.test_case "herlihy rejects under-slack statically" `Quick
+            test_herlihy_verify_rejects_underslack;
+          Alcotest.test_case "nolan raises on rejected swap" `Quick test_nolan_verify_raises;
+          Alcotest.test_case "herlihy commits with verification on" `Slow
+            test_herlihy_verify_commits;
+          Alcotest.test_case "ac3wn accepts all scenarios" `Quick test_ac3wn_preflight_all_scenarios;
+        ] );
+    ]
