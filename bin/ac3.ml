@@ -4,6 +4,7 @@
      ac3 verify   — static verification: graph lints, timelocks, state machines
      ac3 analyze  — print the paper's analytical models (Sec 6)
      ac3 attack   — run 51% witness-attack races (Sec 6.3)
+     ac3 chaos    — seeded fault-injection sweeps with the atomicity oracle
 
    Examples:
      dune exec bin/ac3.exe -- swap --protocol ac3wn --scenario ring --parties 4
@@ -11,7 +12,10 @@
      dune exec bin/ac3.exe -- verify
      dune exec bin/ac3.exe -- verify --protocol herlihy --scenario ring --slack=-1
      dune exec bin/ac3.exe -- analyze
-     dune exec bin/ac3.exe -- attack -q 0.35 --trials 500 *)
+     dune exec bin/ac3.exe -- attack -q 0.35 --trials 500
+     dune exec bin/ac3.exe -- chaos --seed 7 --runs 50
+     dune exec bin/ac3.exe -- chaos --seed 7 --shrink
+     dune exec bin/ac3.exe -- chaos --replay test/chaos_corpus/some_plan.json *)
 
 open Cmdliner
 module U = Ac3_core.Universe
@@ -331,6 +335,150 @@ let attack_cmd =
     (Cmd.info "attack" ~doc:"Simulate 51% attacks on the witness network (Sec 6.3)")
     Term.(const run_attack $ q $ trials $ seed)
 
+(* --- chaos -------------------------------------------------------------------- *)
+
+module Plan = Ac3_chaos.Plan
+module Runner = Ac3_chaos.Runner
+module Shrink = Ac3_chaos.Shrink
+module Repro = Ac3_chaos.Repro
+
+let chaos_protocol_conv =
+  Arg.enum
+    [
+      ("nolan", Runner.P_nolan); ("herlihy", Runner.P_herlihy); ("ac3wn", Runner.P_ac3wn);
+    ]
+
+let report_line (r : Runner.report) =
+  let verdict =
+    match r.Runner.exec with
+    | Runner.Verdict v ->
+        if v.Ac3_chaos.Oracle.pass then "pass"
+        else if v.Ac3_chaos.Oracle.deposit_lost then "VIOLATION (deposit lost)"
+        else "VIOLATION (non-absorbing)"
+    | Runner.Rejected msg -> Printf.sprintf "rejected: %s" msg
+    | Runner.Skipped msg -> Printf.sprintf "skipped: %s" msg
+  in
+  Fmt.pr "  seed=%-6d %-12s %-8s %s@." r.Runner.spec.Plan.seed
+    (Plan.shape_to_string r.Runner.spec.Plan.shape)
+    (Runner.protocol_name r.Runner.protocol)
+    verdict
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let chaos_replay path =
+  let repro = Repro.of_string (read_file path) in
+  Fmt.pr "replaying %s (%a; %a)@." path Plan.pp_spec repro.Repro.spec Plan.pp repro.Repro.plan;
+  let results = Repro.replay repro in
+  List.iter (fun r -> Fmt.pr "%a@." Repro.pp_replay_result r) results;
+  if Repro.replay_ok results then begin
+    Fmt.pr "replay: all %d expectation(s) matched@." (List.length results);
+    0
+  end
+  else begin
+    Fmt.pr "replay: MISMATCH — behavior differs from the recorded reproducer@.";
+    2
+  end
+
+let chaos_shrink ~seed ~protocol ~out =
+  let spec, plan = Plan.sample ~seed in
+  Fmt.pr "seed %d: %a@.plan:@.%a@." seed Plan.pp_spec spec Plan.pp plan;
+  let protocols = match protocol with Some p -> [ p ] | None -> Runner.all_protocols in
+  let reports = Runner.run_all ~protocols ~spec ~plan () in
+  List.iter report_line reports;
+  match List.find_opt Runner.failed reports with
+  | None ->
+      Fmt.pr "no oracle violation at seed %d; nothing to shrink@." seed;
+      0
+  | Some failing ->
+      let target = failing.Runner.protocol in
+      Fmt.pr "shrinking the %s violation...@." (Runner.protocol_name target);
+      let log line = Fmt.epr "%s@." line in
+      let shrunk = Shrink.shrink ~log ~spec ~protocol:target plan in
+      Fmt.pr "shrunk plan (%d -> %d faults):@.%a@." (List.length plan) (List.length shrunk)
+        Plan.pp shrunk;
+      let shrunk_reports = Runner.run_all ~spec ~plan:shrunk () in
+      let note =
+        Printf.sprintf "shrunk from seed %d; violating protocol: %s" seed
+          (Runner.protocol_name target)
+      in
+      let repro = Repro.of_reports ~note ~spec ~plan:shrunk shrunk_reports in
+      let json = Repro.to_string repro in
+      (match out with
+      | None -> Fmt.pr "reproducer:@.%s@." json
+      | Some path ->
+          let oc = open_out_bin path in
+          output_string oc json;
+          close_out oc;
+          Fmt.pr "reproducer written to %s@." path);
+      (match
+         List.find_opt (fun (r : Runner.report) -> r.Runner.protocol = target) shrunk_reports
+       with
+      | Some { Runner.trace; chaos_trace; _ } ->
+          Option.iter
+            (fun t ->
+              Fmt.pr "@.trace of the shrunk %s run:@.%a@." (Runner.protocol_name target)
+                Ac3_sim.Trace.pp t)
+            trace;
+          Option.iter
+            (fun t ->
+              if Ac3_sim.Trace.records t <> [] then
+                Fmt.pr "@.faults that fired:@.%a@." Ac3_sim.Trace.pp t)
+            chaos_trace
+      | None -> ());
+      0
+
+let run_chaos seed runs protocol replay shrink out verbose =
+  match replay with
+  | Some path -> chaos_replay path
+  | None ->
+      if shrink then chaos_shrink ~seed ~protocol ~out
+      else begin
+        let protocols = match protocol with Some p -> [ p ] | None -> Runner.all_protocols in
+        let on_report = if verbose then Some report_line else None in
+        let summary = Runner.sweep ~protocols ?on_report ~seed ~runs () in
+        Fmt.pr "%a@." Runner.pp_summary summary;
+        if summary.Runner.unexplained_failures > 0 then 3 else 0
+      end
+
+let chaos_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed; run $(i,k) uses seed+$(i,k).") in
+  let runs = Arg.(value & opt int 10 & info [ "runs" ] ~doc:"Number of sampled fault plans.") in
+  let protocol =
+    Arg.(
+      value
+      & opt (some chaos_protocol_conv) None
+      & info [ "protocol"; "p" ] ~doc:"Restrict to one protocol (default: all three).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE" ~doc:"Replay a reproducer JSON and check its expectations.")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ] ~doc:"Run the seed's plan once and greedily shrink any violation.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the shrunk reproducer JSON here.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print a line per run.") in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Deterministic fault-injection sweeps: seeded plans, atomicity oracle, shrinking")
+    Term.(const run_chaos $ seed $ runs $ protocol $ replay $ shrink $ out $ verbose)
+
 let () =
   let doc = "Atomic commitment across blockchains (AC3WN reproduction)" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "ac3" ~doc) [ swap_cmd; verify_cmd; analyze_cmd; attack_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "ac3" ~doc)
+          [ swap_cmd; verify_cmd; analyze_cmd; attack_cmd; chaos_cmd ]))

@@ -1,0 +1,44 @@
+(** The atomicity oracle for chaos runs.
+
+    Safety, not liveness: the oracle fails a run only when a deposit is
+    lost (mixed Redeemed/Refunded settlement — someone paid and was not
+    paid) or a terminal contract status mutates during the absorption
+    window after the run. Contracts left merely Published by a crashed
+    participant wound liveness, not safety, and do not fail the oracle
+    on their own. *)
+
+module Outcome = Ac3_core.Outcome
+module Diagnostic = Ac3_verify.Diagnostic
+
+type static =
+  | Single_leader of { delta : float; timelock_slack : float; start_time : float }
+  | Witness
+
+type verdict = {
+  statuses : Outcome.contract_status list;
+  atomic : bool;
+  committed : bool;
+  deposit_lost : bool;
+  settled : bool;
+  absorbing : bool;
+  static_errors : Diagnostic.t list;
+  pass : bool;
+}
+
+(** Extra virtual seconds run before the final outcome read. *)
+val absorb_window : float
+
+(** Evaluate the outcome, run the absorption window, evaluate again, and
+    judge. Consumes the universe (it is advanced in place). *)
+val check :
+  universe:Ac3_core.Universe.t ->
+  graph:Ac3_contract.Ac2t.t ->
+  contracts:string option list ->
+  static:static ->
+  verdict
+
+val deposit_lost : Outcome.contract_status list -> bool
+
+val static_ok : verdict -> bool
+
+val pp : Format.formatter -> verdict -> unit

@@ -1,0 +1,122 @@
+(* Reproducers: the committed, replayable artifact of a chaos finding.
+
+   A reproducer bundles the universe spec, the (usually shrunk) fault
+   plan, and the expected oracle verdict per protocol. Replaying rebuilds
+   everything from the spec's seed and re-judges; a mismatch means a
+   behavior regression. The JSON form is deterministic (stable field
+   order, exact floats) so corpus files diff cleanly. *)
+
+module Json = Ac3_crypto.Codec.Json
+
+type expectation = {
+  protocol : Runner.protocol;
+  pass : bool;
+  deposit_lost : bool;
+  committed : bool;
+}
+
+type t = { note : string; spec : Plan.spec; plan : Plan.t; expect : expectation list }
+
+(* Capture expectations from actual reports (Rejected/Skipped protocols
+   carry no verdict and are left out). *)
+let of_reports ?(note = "") ~spec ~plan reports =
+  let expect =
+    List.filter_map
+      (fun (r : Runner.report) ->
+        match r.Runner.exec with
+        | Runner.Verdict v ->
+            Some
+              {
+                protocol = r.Runner.protocol;
+                pass = v.Oracle.pass;
+                deposit_lost = v.Oracle.deposit_lost;
+                committed = v.Oracle.committed;
+              }
+        | Runner.Rejected _ | Runner.Skipped _ -> None)
+      reports
+  in
+  { note; spec; plan; expect }
+
+let expectation_to_json e =
+  Json.Obj
+    [
+      ("protocol", Json.String (Runner.protocol_name e.protocol));
+      ("pass", Json.Bool e.pass);
+      ("deposit_lost", Json.Bool e.deposit_lost);
+      ("committed", Json.Bool e.committed);
+    ]
+
+let expectation_of_json j =
+  let protocol =
+    let name = Json.to_str (Json.member "protocol" j) in
+    match Runner.protocol_of_string name with
+    | Some p -> p
+    | None -> raise (Plan.Malformed (Printf.sprintf "unknown protocol %S" name))
+  in
+  {
+    protocol;
+    pass = Json.to_bool (Json.member "pass" j);
+    deposit_lost = Json.to_bool (Json.member "deposit_lost" j);
+    committed = Json.to_bool (Json.member "committed" j);
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("note", Json.String t.note);
+      ("spec", Plan.spec_to_json t.spec);
+      ("plan", Plan.to_json t.plan);
+      ("expect", Json.List (List.map expectation_to_json t.expect));
+    ]
+
+let of_json j =
+  (match Json.member_opt "version" j with
+  | Some v when Json.to_int v = 1 -> ()
+  | Some _ -> raise (Plan.Malformed "unsupported reproducer version")
+  | None -> raise (Plan.Malformed "reproducer missing version"));
+  {
+    note = (match Json.member_opt "note" j with Some n -> Json.to_str n | None -> "");
+    spec = Plan.spec_of_json (Json.member "spec" j);
+    plan = Plan.of_json (Json.member "plan" j);
+    expect = List.map expectation_of_json (Json.to_list (Json.member "expect" j));
+  }
+
+let to_string t = Json.to_string_pretty (to_json t)
+
+let of_string s = of_json (Json.of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Replay *)
+
+type replay_result = { expected : expectation; report : Runner.report; matches : bool }
+
+let replay_one t expected =
+  let report = Runner.run_one ~spec:t.spec ~plan:t.plan ~protocol:expected.protocol in
+  let matches =
+    match report.Runner.exec with
+    | Runner.Verdict v ->
+        v.Oracle.pass = expected.pass
+        && v.Oracle.deposit_lost = expected.deposit_lost
+        && v.Oracle.committed = expected.committed
+    | Runner.Rejected _ | Runner.Skipped _ -> false
+  in
+  { expected; report; matches }
+
+let replay t = List.map (replay_one t) t.expect
+
+let replay_ok results = results <> [] && List.for_all (fun r -> r.matches) results
+
+let pp_replay_result ppf r =
+  let actual =
+    match r.report.Runner.exec with
+    | Runner.Verdict v ->
+        Printf.sprintf "pass=%b deposit_lost=%b committed=%b" v.Oracle.pass v.Oracle.deposit_lost
+          v.Oracle.committed
+    | Runner.Rejected msg -> Printf.sprintf "rejected (%s)" msg
+    | Runner.Skipped msg -> Printf.sprintf "skipped (%s)" msg
+  in
+  Fmt.pf ppf "@[%-8s expected pass=%b deposit_lost=%b committed=%b; got %s -> %s@]"
+    (Runner.protocol_name r.expected.protocol)
+    r.expected.pass r.expected.deposit_lost r.expected.committed actual
+    (if r.matches then "MATCH" else "MISMATCH")

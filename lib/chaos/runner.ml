@@ -1,0 +1,278 @@
+(* Chaos runs: execute each commitment protocol against the same seeded
+   universe spec and fault plan, and judge the outcomes with the oracle.
+
+   Everything downstream of (spec, plan, protocol) is deterministic: the
+   universe is rebuilt fresh from spec.seed for every protocol (so a
+   fault schedule perturbs each protocol identically, not a universe
+   already mutated by the previous run), identities are namespaced by
+   seed and protocol so MSS keys are fresh, and the graph is derived
+   from spec.seed alone. Running the same plan twice yields byte-equal
+   traces. *)
+
+module Rng = Ac3_sim.Rng
+module Trace = Ac3_sim.Trace
+module Keys = Ac3_crypto.Keys
+module Amount = Ac3_chain.Amount
+module Ac2t = Ac3_contract.Ac2t
+module Universe = Ac3_core.Universe
+module Scenarios = Ac3_core.Scenarios
+module Herlihy = Ac3_core.Herlihy
+module Nolan = Ac3_core.Nolan
+module Ac3wn = Ac3_core.Ac3wn
+
+type protocol = P_nolan | P_herlihy | P_ac3wn
+
+let all_protocols = [ P_nolan; P_herlihy; P_ac3wn ]
+
+let protocol_name = function P_nolan -> "nolan" | P_herlihy -> "herlihy" | P_ac3wn -> "ac3wn"
+
+let protocol_of_string = function
+  | "nolan" -> Some P_nolan
+  | "herlihy" -> Some P_herlihy
+  | "ac3wn" -> Some P_ac3wn
+  | _ -> None
+
+type exec =
+  | Verdict of Oracle.verdict
+  | Rejected of string  (** the protocol refused the graph *)
+  | Skipped of string  (** not applicable (Nolan beyond two parties) *)
+
+type report = {
+  protocol : protocol;
+  spec : Plan.spec;
+  plan : Plan.t;
+  exec : exec;
+  trace : Trace.t option;  (** the protocol's own event log *)
+  chaos_trace : Trace.t option;  (** universe log: the faults that fired *)
+}
+
+let failed r = match r.exec with Verdict v -> not v.Oracle.pass | Rejected _ | Skipped _ -> false
+
+(* A dynamic safety violation with no fault injected and a clean static
+   verdict would mean the harness itself is broken. *)
+let unexplained r =
+  failed r && r.plan = []
+  && (match r.exec with Verdict v -> Oracle.static_ok v | Rejected _ | Skipped _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Universe and graph construction *)
+
+let block_interval = 5.0
+
+let confirm_depth = 3
+
+let warmup = 60.0
+
+let protocol_timeout = 500.0
+
+(* Seeded ring with chords: always connected, possibly cyclic without a
+   leader (then Herlihy rejects it, which the sweep reports as such). *)
+let random_graph ~spec ~ids ~timestamp =
+  let rng = Rng.create (spec.Plan.seed lxor 0x5bd1e995) in
+  let arr = Array.of_list ids in
+  let n = Array.length arr in
+  let chains = Array.of_list (Plan.chain_names spec) in
+  let nch = Array.length chains in
+  let pk i = Keys.public arr.(i) in
+  let amount k = Amount.of_int ((k + 1) * 10_000) in
+  let ring =
+    List.init n (fun i ->
+        {
+          Ac2t.from_pk = pk i;
+          to_pk = pk ((i + 1) mod n);
+          amount = amount i;
+          chain = chains.(i mod nch);
+        })
+  in
+  let chords =
+    List.init spec.Plan.extra_edges (fun k ->
+        let i = Rng.int rng n in
+        let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+        {
+          Ac2t.from_pk = pk i;
+          to_pk = pk j;
+          amount = amount (n + k);
+          chain = chains.(Rng.int rng nch);
+        })
+  in
+  Ac2t.create ~edges:(ring @ chords) ~timestamp
+
+let build_graph ~spec ~ids ~timestamp =
+  let chains = Plan.chain_names spec in
+  match spec.Plan.shape with
+  | Plan.Two_party -> (
+      match chains with
+      | [ c1; c2 ] -> Scenarios.two_party_graph ~chain1:c1 ~chain2:c2 ids ~timestamp
+      | _ -> assert false)
+  | Plan.Ring -> Scenarios.ring_graph ~chains ids ~timestamp
+  | Plan.Cyclic -> Scenarios.cyclic_graph ~chains ids ~timestamp
+  | Plan.Disconnected -> Scenarios.disconnected_graph ~chains ids ~timestamp
+  | Plan.Supply_chain -> Scenarios.supply_chain_graph ~chains ids ~timestamp
+  | Plan.Random -> random_graph ~spec ~ids ~timestamp
+
+let build_universe ~spec ~protocol =
+  let ns = Printf.sprintf "chaos%d-%s" spec.Plan.seed (protocol_name protocol) in
+  let ids = Scenarios.identities ~ns ~fresh:true spec.Plan.parties in
+  let universe, participants =
+    Scenarios.make_universe ~seed:spec.Plan.seed ~block_interval ~confirm_depth ~nodes:2
+      ~chains:(Plan.chain_names spec) ids ()
+  in
+  Universe.run_until universe warmup;
+  (universe, participants, ids)
+
+(* ------------------------------------------------------------------ *)
+(* One protocol under one plan *)
+
+let run_one ~spec ~plan ~protocol =
+  let universe, participants, ids = build_universe ~spec ~protocol in
+  let finish ?trace exec =
+    { protocol; spec; plan; exec; trace; chaos_trace = Some (Universe.trace universe) }
+  in
+  let graph = build_graph ~spec ~ids ~timestamp:(Universe.now universe) in
+  let delta = Universe.max_delta universe in
+  let single_leader_config = { (Herlihy.default_config ~delta) with timeout = protocol_timeout } in
+  let start_time = Universe.now universe in
+  let static_single =
+    Oracle.Single_leader
+      { delta; timelock_slack = single_leader_config.Herlihy.timelock_slack; start_time }
+  in
+  match protocol with
+  | P_nolan ->
+      if Ac2t.classify graph <> Ac2t.Simple_swap then
+        finish (Skipped "nolan: not a two-party swap")
+      else begin
+        Inject.install ~universe ~participants plan;
+        match Nolan.execute universe ~config:single_leader_config ~graph ~participants () with
+        | result ->
+            finish ~trace:result.Herlihy.trace
+              (Verdict
+                 (Oracle.check ~universe ~graph ~contracts:result.Herlihy.contracts
+                    ~static:static_single))
+        | exception Invalid_argument msg -> finish (Rejected msg)
+      end
+  | P_herlihy -> begin
+      Inject.install ~universe ~participants plan;
+      match Herlihy.execute universe ~config:single_leader_config ~graph ~participants () with
+      | Ok result ->
+          finish ~trace:result.Herlihy.trace
+            (Verdict
+               (Oracle.check ~universe ~graph ~contracts:result.Herlihy.contracts
+                  ~static:static_single))
+      | Error msg -> finish (Rejected msg)
+    end
+  | P_ac3wn ->
+      Inject.install ~universe ~participants plan;
+      let config =
+        {
+          (Ac3wn.default_config ~witness_chain:"witness") with
+          evidence_depth = 2;
+          decision_depth = 3;
+          timeout = protocol_timeout;
+        }
+      in
+      let result = Ac3wn.execute universe ~config ~graph ~participants ~abort_after:250.0 () in
+      finish ~trace:result.Ac3wn.trace
+        (Verdict (Oracle.check ~universe ~graph ~contracts:result.Ac3wn.contracts ~static:Witness))
+
+let run_all ?(protocols = all_protocols) ~spec ~plan () =
+  List.map (fun protocol -> run_one ~spec ~plan ~protocol) protocols
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps *)
+
+type counts = {
+  mutable ran : int;
+  mutable passed : int;
+  mutable violations : int;
+  mutable lost : int;
+  mutable non_absorbing : int;
+  mutable predicted : int;
+  mutable committed : int;
+  mutable rejected : int;
+  mutable skipped : int;
+}
+
+let zero_counts () =
+  {
+    ran = 0;
+    passed = 0;
+    violations = 0;
+    lost = 0;
+    non_absorbing = 0;
+    predicted = 0;
+    committed = 0;
+    rejected = 0;
+    skipped = 0;
+  }
+
+type failure = { fail_seed : int; fail_protocol : protocol }
+
+type summary = {
+  sweep_seed : int;
+  sweep_runs : int;
+  per_protocol : (protocol * counts) list;
+  failures : failure list;
+  unexplained_failures : int;
+}
+
+let tally c = function
+  | Verdict v ->
+      c.ran <- c.ran + 1;
+      if v.Oracle.pass then c.passed <- c.passed + 1
+      else begin
+        c.violations <- c.violations + 1;
+        (* statically predicted: the verifier already flagged this graph *)
+        if not (Oracle.static_ok v) then c.predicted <- c.predicted + 1
+      end;
+      if v.Oracle.deposit_lost then c.lost <- c.lost + 1;
+      if not v.Oracle.absorbing then c.non_absorbing <- c.non_absorbing + 1;
+      if v.Oracle.committed then c.committed <- c.committed + 1
+  | Rejected _ -> c.rejected <- c.rejected + 1
+  | Skipped _ -> c.skipped <- c.skipped + 1
+
+(* Per-run seeds are consecutive so any sweep failure is reproducible in
+   isolation as [ac3 chaos --seed <fail_seed> --runs 1]. *)
+let sweep ?(protocols = all_protocols) ?on_report ~seed ~runs () =
+  let per = List.map (fun p -> (p, zero_counts ())) protocols in
+  let failures = ref [] in
+  let unexplained_failures = ref 0 in
+  for k = 0 to runs - 1 do
+    let run_seed = seed + k in
+    let spec, plan = Plan.sample ~seed:run_seed in
+    List.iter
+      (fun (protocol, counts) ->
+        let r = run_one ~spec ~plan ~protocol in
+        tally counts r.exec;
+        if failed r then failures := { fail_seed = run_seed; fail_protocol = protocol } :: !failures;
+        if unexplained r then incr unexplained_failures;
+        match on_report with None -> () | Some f -> f r)
+      per
+  done;
+  {
+    sweep_seed = seed;
+    sweep_runs = runs;
+    per_protocol = per;
+    failures = List.rev !failures;
+    unexplained_failures = !unexplained_failures;
+  }
+
+let pp_counts ppf c =
+  Fmt.pf ppf
+    "ran=%-3d pass=%-3d viol=%-3d (predicted=%d) lost=%-3d nonabs=%-2d committed=%-3d rejected=%-3d \
+     skipped=%d"
+    c.ran c.passed c.violations c.predicted c.lost c.non_absorbing c.committed c.rejected c.skipped
+
+let pp_summary ppf s =
+  Fmt.pf ppf "@[<v>chaos sweep: seed=%d runs=%d@," s.sweep_seed s.sweep_runs;
+  List.iter
+    (fun (p, c) -> Fmt.pf ppf "  %-8s %a@," (protocol_name p) pp_counts c)
+    s.per_protocol;
+  (match s.failures with
+  | [] -> Fmt.pf ppf "  no atomicity violations"
+  | fs ->
+      Fmt.pf ppf "  violations:";
+      List.iter (fun f -> Fmt.pf ppf " %s@@%d" (protocol_name f.fail_protocol) f.fail_seed) fs);
+  if s.unexplained_failures > 0 then
+    Fmt.pf ppf "@,  UNEXPLAINED: %d violation(s) with no fault and a clean static verdict"
+      s.unexplained_failures;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,88 @@
+(** Execute protocols under fault plans and tally oracle verdicts.
+
+    Everything downstream of (spec, plan, protocol) is deterministic:
+    the universe is rebuilt fresh from [spec.seed] for every protocol
+    run, so repeated runs — including replays of a deserialized plan —
+    produce byte-identical traces and outcomes. *)
+
+type protocol = P_nolan | P_herlihy | P_ac3wn
+
+val all_protocols : protocol list
+
+val protocol_name : protocol -> string
+
+val protocol_of_string : string -> protocol option
+
+type exec =
+  | Verdict of Oracle.verdict
+  | Rejected of string  (** the protocol refused the graph *)
+  | Skipped of string  (** not applicable (Nolan beyond two parties) *)
+
+type report = {
+  protocol : protocol;
+  spec : Plan.spec;
+  plan : Plan.t;
+  exec : exec;
+  trace : Ac3_sim.Trace.t option;  (** the protocol's own event log *)
+  chaos_trace : Ac3_sim.Trace.t option;  (** universe log: faults that fired *)
+}
+
+(** Did the oracle fail this run? (Rejected/Skipped never count.) *)
+val failed : report -> bool
+
+(** Violation with an empty plan and a clean static verdict: a harness
+    bug by construction. *)
+val unexplained : report -> bool
+
+(** Virtual time the universe warms up before the protocol starts. *)
+val warmup : float
+
+(** Simulation horizon handed to each protocol's [timeout]. *)
+val protocol_timeout : float
+
+val build_universe :
+  spec:Plan.spec ->
+  protocol:protocol ->
+  Ac3_core.Universe.t * Ac3_core.Participant.t list * Ac3_crypto.Keys.t list
+
+val build_graph :
+  spec:Plan.spec -> ids:Ac3_crypto.Keys.t list -> timestamp:float -> Ac3_contract.Ac2t.t
+
+val run_one : spec:Plan.spec -> plan:Plan.t -> protocol:protocol -> report
+
+val run_all : ?protocols:protocol list -> spec:Plan.spec -> plan:Plan.t -> unit -> report list
+
+type counts = {
+  mutable ran : int;
+  mutable passed : int;
+  mutable violations : int;
+  mutable lost : int;
+  mutable non_absorbing : int;
+  mutable predicted : int;  (** violations the static verifier predicted *)
+  mutable committed : int;
+  mutable rejected : int;
+  mutable skipped : int;
+}
+
+type failure = { fail_seed : int; fail_protocol : protocol }
+
+type summary = {
+  sweep_seed : int;
+  sweep_runs : int;
+  per_protocol : (protocol * counts) list;
+  failures : failure list;
+  unexplained_failures : int;
+}
+
+(** Run [runs] sampled plans (per-run seeds [seed], [seed+1], ...), each
+    against every protocol in [protocols]. [on_report] sees every
+    report as it completes (for verbose output or reproducer capture). *)
+val sweep :
+  ?protocols:protocol list ->
+  ?on_report:(report -> unit) ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,83 @@
+(* Greedy plan shrinking: given a plan whose run violates the oracle,
+   find a smaller plan that still violates it.
+
+   Two passes, each to fixpoint: drop whole faults (delta-debugging with
+   window size 1 — plans are short enough that the quadratic cost is a
+   handful of re-runs), then weaken the survivors (halve durations and
+   burst sizes). Every candidate is judged by a full deterministic
+   re-run, so the result is guaranteed to still fail — the minimal
+   reproducer committed to the corpus. *)
+
+let still_fails ~spec ~protocol plan = Runner.failed (Runner.run_one ~spec ~plan ~protocol)
+
+let remove_at i plan = List.filteri (fun j _ -> j <> i) plan
+
+let replace_at i f plan = List.mapi (fun j g -> if j = i then f else g) plan
+
+(* First single-fault removal that still fails, if any. *)
+let drop_once ~spec ~protocol ~log plan =
+  let n = List.length plan in
+  let rec try_at i =
+    if i >= n then None
+    else
+      let candidate = remove_at i plan in
+      if still_fails ~spec ~protocol candidate then begin
+        log (Printf.sprintf "shrink: dropped fault %d/%d, still fails" (i + 1) n);
+        Some candidate
+      end
+      else try_at (i + 1)
+  in
+  try_at 0
+
+let rec drop_to_fixpoint ~spec ~protocol ~log plan =
+  match drop_once ~spec ~protocol ~log plan with
+  | Some smaller -> drop_to_fixpoint ~spec ~protocol ~log smaller
+  | None -> plan
+
+let min_duration = 10.0
+
+(* A strictly weaker variant of one fault, if there is room to weaken. *)
+let weaken_fault = function
+  | Plan.Partition f when f.duration > min_duration ->
+      Some (Plan.Partition { f with duration = f.duration /. 2.0 })
+  | Plan.Delay f when f.duration > min_duration ->
+      Some (Plan.Delay { f with duration = f.duration /. 2.0 })
+  | Plan.Delay f when f.factor > 2.0 -> Some (Plan.Delay { f with factor = f.factor /. 2.0 })
+  | Plan.Drop f when f.duration > min_duration ->
+      Some (Plan.Drop { f with duration = f.duration /. 2.0 })
+  | Plan.Drop f when f.p > 0.25 -> Some (Plan.Drop { f with p = f.p /. 2.0 })
+  | Plan.Mining_stall f when f.duration > min_duration ->
+      Some (Plan.Mining_stall { f with duration = f.duration /. 2.0 })
+  | Plan.Witness_outage f when f.duration > min_duration ->
+      Some (Plan.Witness_outage { f with duration = f.duration /. 2.0 })
+  | Plan.Mining_burst f when f.blocks > 1 ->
+      Some (Plan.Mining_burst { f with blocks = f.blocks / 2 })
+  | Plan.Crash _ | Plan.Restart _ | Plan.Partition _ | Plan.Delay _ | Plan.Drop _
+  | Plan.Mining_stall _ | Plan.Witness_outage _ | Plan.Mining_burst _ -> None
+
+let weaken_once ~spec ~protocol ~log plan =
+  let n = List.length plan in
+  let rec try_at i =
+    if i >= n then None
+    else
+      match weaken_fault (List.nth plan i) with
+      | None -> try_at (i + 1)
+      | Some weaker ->
+          let candidate = replace_at i weaker plan in
+          if still_fails ~spec ~protocol candidate then begin
+            log (Printf.sprintf "shrink: weakened fault %d/%d, still fails" (i + 1) n);
+            Some candidate
+          end
+          else try_at (i + 1)
+  in
+  try_at 0
+
+let rec weaken_to_fixpoint ~spec ~protocol ~log plan =
+  match weaken_once ~spec ~protocol ~log plan with
+  | Some weaker -> weaken_to_fixpoint ~spec ~protocol ~log weaker
+  | None -> plan
+
+(* Precondition: [plan] fails under [protocol]; the result still does. *)
+let shrink ?(log = fun _ -> ()) ~spec ~protocol plan =
+  let dropped = drop_to_fixpoint ~spec ~protocol ~log plan in
+  weaken_to_fixpoint ~spec ~protocol ~log dropped

@@ -1,0 +1,15 @@
+(** Greedy shrinking of violating fault plans.
+
+    [shrink ~spec ~protocol plan] assumes the plan's run violates the
+    oracle under [protocol] and returns a plan that still does, first
+    dropping whole faults to a fixpoint, then weakening the survivors
+    (halved durations, factors, probabilities, burst sizes). Each
+    candidate is validated by a deterministic re-run. [log] receives a
+    line per successful shrink step. *)
+
+val still_fails : spec:Plan.spec -> protocol:Runner.protocol -> Plan.t -> bool
+
+val weaken_fault : Plan.fault -> Plan.fault option
+
+val shrink :
+  ?log:(string -> unit) -> spec:Plan.spec -> protocol:Runner.protocol -> Plan.t -> Plan.t

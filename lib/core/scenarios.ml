@@ -20,11 +20,12 @@ let participant_names =
 
 (* [ns] namespaces the identities: every run that must not share (and
    exhaust) MSS signing keys with other runs passes its own namespace. *)
-let identities ?(ns = "") n =
+let identities ?(ns = "") ?(fresh = false) n =
   if n > Array.length participant_names then invalid_arg "Scenarios.identities: too many";
+  let make = if fresh then Keys.fresh ?height:None else Keys.create ?height:None in
   List.init n (fun i ->
       let name = participant_names.(i) in
-      Keys.create (if ns = "" then name else ns ^ ":" ^ name))
+      make (if ns = "" then name else ns ^ ":" ^ name))
 
 (* A fast generic chain for protocol experiments. *)
 let chain_params ?(block_interval = 10.0) ?(confirm_depth = 4) ?(regular_blocks = false) ~premine

@@ -9,8 +9,11 @@ open Ac3_chain
 val funding : Amount.t
 
 (** The first [n] of alice, bob, carol, ... — namespaced by [ns] so
-    separate runs get fresh (unexhausted) MSS signing keys. *)
-val identities : ?ns:string -> int -> Keys.t list
+    separate runs get fresh (unexhausted) MSS signing keys. [fresh]
+    additionally bypasses the key cache ({!Keys.fresh}), so repeated
+    calls with the same namespace are stateless replicas — required for
+    byte-identical replay of the same run. *)
+val identities : ?ns:string -> ?fresh:bool -> int -> Keys.t list
 
 (** Fast generic chain parameters for protocol experiments. *)
 val chain_params :

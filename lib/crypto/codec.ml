@@ -132,6 +132,279 @@ module Reader = struct
   let expect_end r = if remaining r <> 0 then fail "Codec: %d trailing bytes" (remaining r)
 end
 
+(* JSON: the interchange format for artifacts meant to be read, diffed
+   and committed (chaos fault plans, reproducer corpora) — in contrast
+   to the binary writers above, which serve hashing and signing.
+
+   Serialization is deterministic: object fields print in the order
+   given, floats as shortest-exact decimals ("%.17g" fallback) so a
+   parse/print round trip is byte-stable. Only the JSON subset the
+   repo emits is supported: no \u escapes beyond ASCII, numbers are
+   OCaml ints or binary64 floats. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (* Shortest decimal that parses back to the same binary64. *)
+  let float_repr f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else
+      let s = Printf.sprintf "%.15g" f in
+      if float_of_string s = f then s
+      else
+        let s = Printf.sprintf "%.16g" f in
+        if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec write ~indent ~level buf t =
+    let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+    let sep () = if indent then Buffer.add_string buf "\n" in
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        sep ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              sep ()
+            end;
+            pad (level + 1);
+            write ~indent ~level:(level + 1) buf item)
+          items;
+        sep ();
+        pad level;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        sep ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              sep ()
+            end;
+            pad (level + 1);
+            escape buf k;
+            Buffer.add_string buf (if indent then ": " else ":");
+            write ~indent ~level:(level + 1) buf v)
+          fields;
+        sep ();
+        pad level;
+        Buffer.add_char buf '}'
+
+  let emit ~indent t =
+    let buf = Buffer.create 256 in
+    write ~indent ~level:0 buf t;
+    Buffer.contents buf
+
+  let to_string t = emit ~indent:false t
+
+  let to_string_pretty t = emit ~indent:true t ^ "\n"
+
+  (* --- Recursive-descent parser --------------------------------------- *)
+
+  type parser_state = { src : string; mutable at : int }
+
+  let peek p = if p.at < String.length p.src then Some p.src.[p.at] else None
+
+  let advance p = p.at <- p.at + 1
+
+  let skip_ws p =
+    while
+      match peek p with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance p;
+          true
+      | _ -> false
+    do
+      ()
+    done
+
+  let expect p c =
+    match peek p with
+    | Some got when got = c -> advance p
+    | got ->
+        fail "Json: expected %c at offset %d, got %s" c p.at
+          (match got with Some g -> Printf.sprintf "%c" g | None -> "end of input")
+
+  let parse_literal p lit value =
+    if
+      p.at + String.length lit <= String.length p.src
+      && String.sub p.src p.at (String.length lit) = lit
+    then begin
+      p.at <- p.at + String.length lit;
+      value
+    end
+    else fail "Json: invalid literal at offset %d" p.at
+
+  let parse_string p =
+    expect p '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek p with
+      | None -> fail "Json: unterminated string"
+      | Some '"' -> advance p
+      | Some '\\' -> (
+          advance p;
+          match peek p with
+          | Some '"' -> advance p; Buffer.add_char buf '"'; go ()
+          | Some '\\' -> advance p; Buffer.add_char buf '\\'; go ()
+          | Some '/' -> advance p; Buffer.add_char buf '/'; go ()
+          | Some 'n' -> advance p; Buffer.add_char buf '\n'; go ()
+          | Some 'r' -> advance p; Buffer.add_char buf '\r'; go ()
+          | Some 't' -> advance p; Buffer.add_char buf '\t'; go ()
+          | Some 'u' ->
+              advance p;
+              if p.at + 4 > String.length p.src then fail "Json: truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub p.src p.at 4) in
+              if code > 0xFF then fail "Json: non-ASCII \\u escape unsupported";
+              p.at <- p.at + 4;
+              Buffer.add_char buf (Char.chr code);
+              go ()
+          | _ -> fail "Json: bad escape at offset %d" p.at)
+      | Some c ->
+          advance p;
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let parse_number p =
+    let start = p.at in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek p with Some c when is_num_char c -> true | _ -> false) do
+      advance p
+    done;
+    let s = String.sub p.src start (p.at - start) in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'E' then
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail "Json: bad number %S" s
+    else
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt s with
+          | Some f -> Float f
+          | None -> fail "Json: bad number %S" s)
+
+  let rec parse_value p =
+    skip_ws p;
+    match peek p with
+    | None -> fail "Json: empty input"
+    | Some 'n' -> parse_literal p "null" Null
+    | Some 't' -> parse_literal p "true" (Bool true)
+    | Some 'f' -> parse_literal p "false" (Bool false)
+    | Some '"' -> String (parse_string p)
+    | Some '[' ->
+        advance p;
+        skip_ws p;
+        if peek p = Some ']' then begin
+          advance p;
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value p in
+            skip_ws p;
+            match peek p with
+            | Some ',' ->
+                advance p;
+                items (v :: acc)
+            | Some ']' ->
+                advance p;
+                List.rev (v :: acc)
+            | _ -> fail "Json: expected , or ] at offset %d" p.at
+          in
+          List (items [])
+    | Some '{' ->
+        advance p;
+        skip_ws p;
+        if peek p = Some '}' then begin
+          advance p;
+          Obj []
+        end
+        else
+          let rec fields acc =
+            skip_ws p;
+            let k = parse_string p in
+            skip_ws p;
+            expect p ':';
+            let v = parse_value p in
+            skip_ws p;
+            match peek p with
+            | Some ',' ->
+                advance p;
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance p;
+                List.rev ((k, v) :: acc)
+            | _ -> fail "Json: expected , or } at offset %d" p.at
+          in
+          Obj (fields [])
+    | Some _ -> parse_number p
+
+  let of_string s =
+    let p = { src = s; at = 0 } in
+    let v = parse_value p in
+    skip_ws p;
+    if p.at <> String.length s then fail "Json: %d trailing bytes" (String.length s - p.at);
+    v
+
+  (* --- Accessors (raise Decode_error on shape mismatch) ---------------- *)
+
+  let member key = function
+    | Obj fields -> (
+        match List.assoc_opt key fields with
+        | Some v -> v
+        | None -> fail "Json: missing field %S" key)
+    | _ -> fail "Json: not an object (looking up %S)" key
+
+  let member_opt key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+  let to_int = function Int i -> i | _ -> fail "Json: expected int"
+
+  let to_float = function Float f -> f | Int i -> float_of_int i | _ -> fail "Json: expected number"
+
+  let to_bool = function Bool b -> b | _ -> fail "Json: expected bool"
+
+  let to_str = function String s -> s | _ -> fail "Json: expected string"
+
+  let to_list = function List l -> l | _ -> fail "Json: expected array"
+end
+
 (* Encode a value with [f] to a standalone string. *)
 let encode f v =
   let w = Writer.create () in

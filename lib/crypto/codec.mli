@@ -72,6 +72,44 @@ module Reader : sig
   val expect_end : t -> unit
 end
 
+(** Minimal JSON for human-readable artifacts (chaos fault plans,
+    reproducer corpora). Printing is deterministic — fields keep the
+    order given, floats round-trip exactly — so serialized plans are
+    byte-stable and diffable. Parsing raises {!Decode_error}. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  (** Two-space indented, trailing newline — the committed-corpus form. *)
+  val to_string_pretty : t -> string
+
+  val of_string : string -> t
+
+  (** Field lookup; raises {!Decode_error} if absent or not an object. *)
+  val member : string -> t -> t
+
+  val member_opt : string -> t -> t option
+
+  val to_int : t -> int
+
+  (** Accepts [Int] or [Float]. *)
+  val to_float : t -> float
+
+  val to_bool : t -> bool
+
+  val to_str : t -> string
+
+  val to_list : t -> t list
+end
+
 (** [encode f v] runs encoder [f] on [v] and returns the bytes. *)
 val encode : (Writer.t -> 'a -> unit) -> 'a -> string
 

@@ -35,6 +35,14 @@ let create ?(height = default_height) label =
   in
   { label; secret; public = Mss.public secret }
 
+(* Same key material as [create] but never memoized: every call starts
+   with a full, unconsumed signature budget. Repeated identical runs
+   (chaos replays) need this — sharing a cached secret across runs would
+   leak signature-counter state from one run into the next. *)
+let fresh ?(height = default_height) label =
+  let secret = Mss.generate ~height ~seed:(Sha256.digest ("identity:" ^ label)) () in
+  { label; secret; public = Mss.public secret }
+
 let label t = t.label
 
 let public t = t.public

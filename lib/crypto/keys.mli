@@ -16,6 +16,11 @@ val address_len : int
     with the same label share the (stateful) signing key. *)
 val create : ?height:int -> string -> t
 
+(** Like {!create} but never memoized: a full, unconsumed signature
+    budget on every call. For repeated identical runs (chaos replays)
+    that must not share signature-counter state. *)
+val fresh : ?height:int -> string -> t
+
 val label : t -> string
 
 val public : t -> public

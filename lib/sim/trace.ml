@@ -2,25 +2,49 @@
 
    A trace is an append-only log of (virtual time, label, attributes)
    records. Experiments use traces to measure protocol phase durations
-   (e.g. the deployment and redemption phases of Figures 8 and 9). *)
+   (e.g. the deployment and redemption phases of Figures 8 and 9).
+
+   Records are stored in arrival order in a growable array, so the hot
+   lookups of long chaos runs stay cheap: [find] is a forward scan that
+   stops at the first match (O(position)) and [last_time_of] a backward
+   scan, instead of reversing the whole log per call. *)
 
 type record = { time : float; label : string; attrs : (string * string) list }
 
-type t = { mutable records : record list; mutable count : int }
+type t = { mutable arr : record array; mutable count : int }
 
-let create () = { records = []; count = 0 }
+let dummy = { time = nan; label = ""; attrs = [] }
+
+let create () = { arr = [||]; count = 0 }
 
 let record t ~time ?(attrs = []) label =
-  t.records <- { time; label; attrs } :: t.records;
+  if t.count = Array.length t.arr then begin
+    let grown = Array.make (max 16 (2 * Array.length t.arr)) dummy in
+    Array.blit t.arr 0 grown 0 t.count;
+    t.arr <- grown
+  end;
+  t.arr.(t.count) <- { time; label; attrs };
   t.count <- t.count + 1
 
 let length t = t.count
 
-let records t = List.rev t.records
+let records t = Array.to_list (Array.sub t.arr 0 t.count)
 
-let find t label = List.find_opt (fun r -> r.label = label) (records t)
+(* First occurrence in arrival order. *)
+let find t label =
+  let rec go i =
+    if i >= t.count then None
+    else if String.equal t.arr.(i).label label then Some t.arr.(i)
+    else go (i + 1)
+  in
+  go 0
 
-let find_all t label = List.filter (fun r -> r.label = label) (records t)
+let find_all t label =
+  let out = ref [] in
+  for i = t.count - 1 downto 0 do
+    if String.equal t.arr.(i).label label then out := t.arr.(i) :: !out
+  done;
+  !out
 
 let time_of t label =
   match find t label with Some r -> Some r.time | None -> None
@@ -33,9 +57,12 @@ let span t ~from_ ~to_ =
   | _ -> None
 
 let last_time_of t label =
-  match List.find_opt (fun r -> r.label = label) t.records with
-  | Some r -> Some r.time
-  | None -> None
+  let rec go i =
+    if i < 0 then None
+    else if String.equal t.arr.(i).label label then Some t.arr.(i).time
+    else go (i - 1)
+  in
+  go (t.count - 1)
 
 (* Span from first [from_] to the *last* [to_]; used when a phase ends with
    the last of several parallel completions. *)
@@ -45,11 +72,11 @@ let span_to_last t ~from_ ~to_ =
   | _ -> None
 
 let pp ppf t =
-  List.iter
-    (fun r ->
-      Fmt.pf ppf "%10.3f  %s" r.time r.label;
-      List.iter (fun (k, v) -> Fmt.pf ppf " %s=%s" k v) r.attrs;
-      Fmt.pf ppf "@.")
-    (records t)
+  for i = 0 to t.count - 1 do
+    let r = t.arr.(i) in
+    Fmt.pf ppf "%10.3f  %s" r.time r.label;
+    List.iter (fun (k, v) -> Fmt.pf ppf " %s=%s" k v) r.attrs;
+    Fmt.pf ppf "@."
+  done
 
 let to_string t = Fmt.str "%a" pp t

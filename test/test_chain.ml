@@ -824,6 +824,99 @@ let test_network_delivery_and_stats () =
   Alcotest.(check int) "delivered" 2 delivered;
   Alcotest.(check int) "dropped" 0 dropped
 
+let mk_msg () =
+  Network.Tx_msg
+    (Tx.coinbase ~chain:"t" ~height:0 ~miner_addr:(Keys.address alice) ~reward:Amount.zero)
+
+let test_network_partition_edge_cases () =
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~rng:(Rng.create 11) () in
+  List.iter (fun id -> Network.register net ~id (fun _ -> ())) [ "a"; "b"; "c" ];
+  (* A node listed in several groups lands in the last one listed. *)
+  Network.partition net [ [ "a"; "b" ]; [ "b"; "c" ] ];
+  Alcotest.(check bool) "b moved to last group" true (Network.reachable net ~from:"b" ~to_:"c");
+  Alcotest.(check bool) "b cut from first group" false (Network.reachable net ~from:"a" ~to_:"b");
+  (* Empty groups are inert: a partition of only-empty groups is full
+     connectivity (everyone shares the implicit group). *)
+  Network.partition net [ []; [] ];
+  Alcotest.(check bool) "empty groups connect all" true (Network.reachable net ~from:"a" ~to_:"b");
+  Alcotest.(check bool) "empty groups connect all 2" true (Network.reachable net ~from:"b" ~to_:"c");
+  (* Heal-then-repartition starts from a clean table: only the new split
+     applies, nothing lingers from the old one. *)
+  Network.partition net [ [ "a" ]; [ "b" ] ];
+  Network.heal net;
+  Network.partition net [ [ "c" ] ];
+  Alcotest.(check bool) "old split gone" true (Network.reachable net ~from:"a" ~to_:"b");
+  Alcotest.(check bool) "new split applies" false (Network.reachable net ~from:"a" ~to_:"c")
+
+let test_network_partition_drops_not_queues () =
+  (* A send across a partition is dropped outright: healing later must
+     not resurrect it. *)
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~rng:(Rng.create 12) () in
+  let got = ref 0 in
+  Network.register net ~id:"a" (fun _ -> ());
+  Network.register net ~id:"b" (fun _ -> incr got);
+  Network.partition net [ [ "a" ]; [ "b" ] ];
+  Network.send net ~from:"a" ~to_:"b" (mk_msg ());
+  Network.heal net;
+  ignore (Engine.run engine);
+  Alcotest.(check int) "nothing delivered after heal" 0 !got;
+  let _, _, dropped = Network.stats net in
+  Alcotest.(check int) "dropped at send time" 1 dropped;
+  (* Sanity: the healed link actually works for fresh sends. *)
+  Network.send net ~from:"a" ~to_:"b" (mk_msg ());
+  ignore (Engine.run engine);
+  Alcotest.(check int) "fresh send delivered" 1 !got
+
+let test_network_drop_probability () =
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~rng:(Rng.create 13) () in
+  let got = ref 0 in
+  Network.register net ~id:"a" (fun _ -> ());
+  Network.register net ~id:"b" (fun _ -> incr got);
+  Alcotest.check_raises "p out of range" (Invalid_argument "Network.set_drop_probability")
+    (fun () -> Network.set_drop_probability net 1.5);
+  Network.set_drop_probability net 1.0;
+  for _ = 1 to 20 do
+    Network.send net ~from:"a" ~to_:"b" (mk_msg ())
+  done;
+  ignore (Engine.run engine);
+  Alcotest.(check int) "p=1 drops everything" 0 !got;
+  Network.set_drop_probability net 0.5;
+  for _ = 1 to 200 do
+    Network.send net ~from:"a" ~to_:"b" (mk_msg ())
+  done;
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "p=0.5 drops about half" true (!got > 60 && !got < 140);
+  Network.set_drop_probability net 0.0;
+  Alcotest.(check (float 1e-9)) "probability readable" 0.0 (Network.drop_probability net)
+
+let test_network_fault_hook () =
+  let engine = Engine.create () in
+  let net = Network.create ~min_delay:0.1 ~max_delay:0.2 ~engine ~rng:(Rng.create 14) () in
+  let got = ref [] in
+  Network.register net ~id:"a" (fun _ -> ());
+  Network.register net ~id:"b" (fun _ -> got := ("b", Engine.now engine) :: !got);
+  Network.register net ~id:"c" (fun _ -> got := ("c", Engine.now engine) :: !got);
+  (* Drop everything towards b, slow everything towards c. *)
+  Network.set_fault_hook net (fun ~from:_ ~to_ _msg ->
+      if String.equal to_ "b" then Network.Drop_msg else Network.Delay_extra 10.0);
+  Network.broadcast net ~from:"a" (mk_msg ());
+  ignore (Engine.run engine);
+  (match !got with
+  | [ ("c", time) ] -> Alcotest.(check bool) "c delayed by hook" true (time > 10.0)
+  | _ -> Alcotest.fail "expected exactly one delayed delivery to c");
+  let _, delivered, dropped = Network.stats net in
+  Alcotest.(check int) "one delivered" 1 delivered;
+  Alcotest.(check int) "one dropped" 1 dropped;
+  (* Clearing the hook restores normal delivery. *)
+  Network.clear_fault_hook net;
+  got := [];
+  Network.send net ~from:"a" ~to_:"b" (mk_msg ());
+  ignore (Engine.run engine);
+  Alcotest.(check int) "b reachable again" 1 (List.length !got)
+
 (* --- Params ----------------------------------------------------------------- *)
 
 let test_params_presets_match_table1 () =
@@ -979,6 +1072,11 @@ let () =
           Alcotest.test_case "partition predicates" `Quick test_network_partition_predicates;
           Alcotest.test_case "duplicate endpoint" `Quick test_network_duplicate_endpoint;
           Alcotest.test_case "delivery and stats" `Quick test_network_delivery_and_stats;
+          Alcotest.test_case "partition edge cases" `Quick test_network_partition_edge_cases;
+          Alcotest.test_case "partition drops, not queues" `Quick
+            test_network_partition_drops_not_queues;
+          Alcotest.test_case "drop probability" `Quick test_network_drop_probability;
+          Alcotest.test_case "fault hook" `Quick test_network_fault_hook;
         ] );
       ( "params",
         [

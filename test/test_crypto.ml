@@ -238,6 +238,53 @@ let qcheck_codec_float =
       let f' = Codec.decode Codec.Reader.float (Codec.encode Codec.Writer.float f) in
       Int64.bits_of_float f = Int64.bits_of_float f')
 
+(* --- JSON --------------------------------------------------------------- *)
+
+module Json = Codec.Json
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("n", Json.Int (-42));
+        ("x", Json.Float 1.5);
+        ("s", Json.String "quote \" backslash \\ newline \n tab \t");
+        ("xs", Json.List [ Json.Int 1; Json.Float 0.25; Json.String "" ]);
+        ("empty_obj", Json.Obj []);
+        ("empty_list", Json.List []);
+      ]
+  in
+  Alcotest.(check bool) "compact roundtrips" true (Json.of_string (Json.to_string v) = v);
+  Alcotest.(check bool) "pretty roundtrips" true (Json.of_string (Json.to_string_pretty v) = v)
+
+let test_json_deterministic () =
+  let v = Json.Obj [ ("b", Json.Int 2); ("a", Json.Int 1) ] in
+  (* printing preserves field order and is stable call to call *)
+  Alcotest.(check string) "stable" (Json.to_string v) (Json.to_string v);
+  Alcotest.(check string) "order preserved" {|{"b":2,"a":1}|} (Json.to_string v)
+
+let test_json_rejects_malformed () =
+  let rejects s =
+    match Json.of_string s with
+    | exception Codec.Decode_error _ -> ()
+    | _ -> Alcotest.failf "accepted malformed JSON %S" s
+  in
+  rejects "";
+  rejects "{";
+  rejects "[1,]";
+  rejects "{\"a\":1} trailing";
+  rejects "\"unterminated";
+  rejects "nul"
+
+let qcheck_json_float =
+  QCheck.Test.make ~name:"json float printing round-trips exactly" ~count:300
+    QCheck.(map (fun f -> if Float.is_nan f || Float.is_integer f then 0.5 else f) float)
+    (fun f ->
+      (not (Float.is_finite f))
+      || Json.of_string (Json.to_string (Json.Float f)) = Json.Float f)
+
 (* --- Lamport ------------------------------------------------------------ *)
 
 let test_lamport_sign_verify () =
@@ -480,6 +527,13 @@ let () =
           Alcotest.test_case "trailing rejected" `Quick test_codec_trailing_rejected;
           Alcotest.test_case "truncation rejected" `Quick test_codec_truncation_rejected;
           QCheck_alcotest.to_alcotest qcheck_codec_float;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "deterministic printing" `Quick test_json_deterministic;
+          Alcotest.test_case "malformed rejected" `Quick test_json_rejects_malformed;
+          QCheck_alcotest.to_alcotest qcheck_json_float;
         ] );
       ( "lamport",
         [

@@ -173,6 +173,28 @@ let test_trace_spans () =
   Alcotest.(check int) "find_all" 2 (List.length (Trace.find_all tr "deploy"));
   Alcotest.(check (option (float 1e-9))) "missing" None (Trace.span tr ~from_:"start" ~to_:"nope")
 
+let test_trace_find_first_occurrence () =
+  (* Records live in arrival order: [find]/[time_of] must return the
+     *first* occurrence of a label, [last_time_of] the last — under
+     repeated lookups (chaos runs make traces hot) and growth across the
+     internal array-doubling boundary. *)
+  let tr = Trace.create () in
+  for i = 0 to 99 do
+    Trace.record tr ~time:(float_of_int i) ~attrs:[ ("n", string_of_int i) ] "tick"
+  done;
+  Alcotest.(check int) "length" 100 (Trace.length tr);
+  (match Trace.find tr "tick" with
+  | None -> Alcotest.fail "find missed"
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "first time" 0.0 r.Trace.time;
+      Alcotest.(check (list (pair string string))) "first attrs" [ ("n", "0") ] r.Trace.attrs);
+  Alcotest.(check (option (float 1e-9))) "time_of = first" (Some 0.0) (Trace.time_of tr "tick");
+  Alcotest.(check (option (float 1e-9))) "last_time_of = last" (Some 99.0)
+    (Trace.last_time_of tr "tick");
+  (* Chronological order is preserved end to end. *)
+  let times = List.map (fun r -> r.Trace.time) (Trace.records tr) in
+  Alcotest.(check (list (float 1e-9))) "arrival order" (List.init 100 float_of_int) times
+
 (* --- Stats ------------------------------------------------------------ *)
 
 let test_stats_basic () =
@@ -242,7 +264,12 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "repeating" `Quick test_engine_repeating;
         ] );
-      ("trace", [ Alcotest.test_case "spans" `Quick test_trace_spans ]);
+      ( "trace",
+        [
+          Alcotest.test_case "spans" `Quick test_trace_spans;
+          Alcotest.test_case "find returns first occurrence" `Quick
+            test_trace_find_first_occurrence;
+        ] );
       ( "stats",
         [
           Alcotest.test_case "basic" `Quick test_stats_basic;
