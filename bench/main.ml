@@ -346,6 +346,62 @@ let bechamel_tests () =
     forks_kernel;
   ]
 
+(* --- model checker: throughput over product automata --------------------- *)
+
+module MC = Ac3_model.Checker
+module Json = Ac3_crypto.Codec.Json
+
+(* States/sec and peak frontier of `ac3 check` on representative
+   (protocol, graph) pairs; machine-readable results land in
+   BENCH_model.json for tracking across commits. *)
+let model_check () =
+  section "E12 / ac3 check — model-checker throughput over product automata";
+  let graph_of n shape =
+    let ids = Ac3_core.Scenarios.identities ~ns:"bench-model" n in
+    let chains = List.init n (Printf.sprintf "c%d") in
+    match shape with
+    | `Two_party -> Ac3_core.Scenarios.two_party_graph ~chain1:"c0" ~chain2:"c1" ids ~timestamp:1.0
+    | `Ring -> Ac3_core.Scenarios.ring_graph ~chains ids ~timestamp:1.0
+    | `Cyclic -> Ac3_core.Scenarios.cyclic_graph ~chains ids ~timestamp:1.0
+  in
+  let cases =
+    [
+      ("herlihy-two-party", MC.Herlihy, graph_of 2 `Two_party);
+      ("herlihy-ring6", MC.Herlihy, graph_of 6 `Ring);
+      ("ac3wn-ring6", MC.Ac3wn, graph_of 6 `Ring);
+      ("ac3wn-cyclic", MC.Ac3wn, graph_of 3 `Cyclic);
+    ]
+  in
+  let config = { MC.default_config with MC.max_nodes = 500_000 } in
+  let results =
+    List.map
+      (fun (name, protocol, graph) ->
+        let t0 = Sys.time () in
+        let r = MC.check ~config ~protocol ~graph in
+        let dt = Sys.time () -. t0 in
+        let s = r.MC.stats in
+        let states_per_sec = if dt > 0.0 then float_of_int s.MC.nodes /. dt else 0.0 in
+        Fmt.pr "  %-20s %7d nodes %8d trans (%6d POR-pruned)  peak %6d  %7.1f ms  %9.0f states/s@."
+          name s.MC.nodes s.MC.transitions s.MC.por_skipped s.MC.peak_frontier (dt *. 1000.0)
+          states_per_sec;
+        ( name,
+          Json.Obj
+            [
+              ("nodes", Json.Int s.MC.nodes);
+              ("transitions", Json.Int s.MC.transitions);
+              ("por_skipped", Json.Int s.MC.por_skipped);
+              ("peak_frontier", Json.Int s.MC.peak_frontier);
+              ("elapsed_ms", Json.Float (dt *. 1000.0));
+              ("states_per_sec", Json.Float states_per_sec);
+            ] ))
+      cases
+  in
+  let oc = open_out_bin "BENCH_model.json" in
+  output_string oc (Json.to_string_pretty (Json.Obj results));
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "  results written to BENCH_model.json@."
+
 let run_bechamel () =
   section "Bechamel micro-benchmarks (one kernel per table/figure)";
   let open Bechamel in
@@ -381,5 +437,6 @@ let () =
   availability ();
   evidence ();
   if not quick then depth_latency ();
+  model_check ();
   run_bechamel ();
   Fmt.pr "@.Done.@."

@@ -2,6 +2,7 @@
 
      ac3 swap     — execute an AC2T on the simulator with a chosen protocol
      ac3 verify   — static verification: graph lints, timelocks, state machines
+     ac3 check    — model-check whole transactions across every interleaving
      ac3 analyze  — print the paper's analytical models (Sec 6)
      ac3 attack   — run 51% witness-attack races (Sec 6.3)
      ac3 chaos    — seeded fault-injection sweeps with the atomicity oracle
@@ -11,6 +12,9 @@
      dune exec bin/ac3.exe -- swap --protocol nolan --crash
      dune exec bin/ac3.exe -- verify
      dune exec bin/ac3.exe -- verify --protocol herlihy --scenario ring --slack=-1
+     dune exec bin/ac3.exe -- verify --json
+     dune exec bin/ac3.exe -- check --protocol ac3wn
+     dune exec bin/ac3.exe -- check --protocol herlihy --scenario two-party --export ce.json
      dune exec bin/ac3.exe -- analyze
      dune exec bin/ac3.exe -- attack -q 0.35 --trials 500
      dune exec bin/ac3.exe -- chaos --seed 7 --runs 50
@@ -204,7 +208,26 @@ let print_section ~quiet (name, diags) =
   List.iter (fun d -> Fmt.pr "   %a@." Diagnostic.pp d) shown;
   errors <> []
 
-let run_verify protocol scenario parties delta slack quiet =
+module Json = Ac3_crypto.Codec.Json
+
+let sections_to_json sections =
+  let section_json (name, diags) =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ok", Json.Bool (not (Diagnostic.has_errors diags)));
+        ("diagnostics", Json.List (List.map Diagnostic.to_json diags));
+      ]
+  in
+  Json.Obj
+    [
+      ( "ok",
+        Json.Bool (List.for_all (fun (_, diags) -> not (Diagnostic.has_errors diags)) sections)
+      );
+      ("sections", Json.List (List.map section_json sections));
+    ]
+
+let run_verify protocol scenario parties delta slack max_nodes json quiet =
   let herlihy_over scenarios =
     List.map
       (fun s ->
@@ -222,9 +245,11 @@ let run_verify protocol scenario parties delta slack quiet =
   in
   let contracts () =
     [
-      ("state machine (htlc)", V.contract (Probes.htlc ()));
-      ("state machine (ac3tw-swap)", V.contract (Probes.centralized ()));
-      ("state machine (ac3wn-witness)", V.contract (Probes.witness ()));
+      ("state machine (htlc)", V.contract ~name:"htlc" (Probes.htlc ~max_nodes ()));
+      ( "state machine (ac3tw-swap)",
+        V.contract ~name:"ac3tw-swap" (Probes.centralized ~max_nodes ()) );
+      ( "state machine (ac3wn-witness)",
+        V.contract ~name:"ac3wn-witness" (Probes.witness ~max_nodes ()) );
     ]
   in
   let sections =
@@ -243,15 +268,23 @@ let run_verify protocol scenario parties delta slack quiet =
         @ ac3wn_over [ Two_party; Ring; Cyclic; Disconnected; Supply_chain ]
         @ contracts ()
   in
-  let failures = List.filter (fun sec -> print_section ~quiet sec) sections in
-  if failures = [] then begin
-    Fmt.pr "@.verify: %d section(s), all ok@." (List.length sections);
-    0
+  let sections = List.map (fun (name, diags) -> (name, Diagnostic.dedupe diags)) sections in
+  if json then begin
+    print_string (Json.to_string_pretty (sections_to_json sections));
+    print_newline ();
+    if List.exists (fun (_, diags) -> Diagnostic.has_errors diags) sections then 2 else 0
   end
   else begin
-    Fmt.pr "@.verify: %d of %d section(s) FAILED@." (List.length failures)
-      (List.length sections);
-    2
+    let failures = List.filter (fun sec -> print_section ~quiet sec) sections in
+    if failures = [] then begin
+      Fmt.pr "@.verify: %d section(s), all ok@." (List.length sections);
+      0
+    end
+    else begin
+      Fmt.pr "@.verify: %d of %d section(s) FAILED@." (List.length failures)
+        (List.length sections);
+      2
+    end
   end
 
 let verify_cmd =
@@ -272,11 +305,19 @@ let verify_cmd =
   let slack =
     Arg.(value & opt float 2.0 & info [ "slack" ] ~doc:"Extra deltas of timelock margin.")
   in
+  let max_nodes =
+    Arg.(
+      value & opt int 256
+      & info [ "max-nodes" ] ~doc:"Node bound for the contract state-machine pass (S005 when hit).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output with stable field order.")
+  in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Hide info-level diagnostics.") in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Statically verify AC2T graphs, timelock assignments and contract state machines")
-    Term.(const run_verify $ protocol $ scenario $ parties $ delta $ slack $ quiet)
+    Term.(const run_verify $ protocol $ scenario $ parties $ delta $ slack $ max_nodes $ json $ quiet)
 
 (* --- analyze ----------------------------------------------------------------- *)
 
@@ -476,9 +517,194 @@ let chaos_cmd =
        ~doc:"Deterministic fault-injection sweeps: seeded plans, atomicity oracle, shrinking")
     Term.(const run_chaos $ seed $ runs $ protocol $ replay $ shrink $ out $ verbose)
 
+(* --- check -------------------------------------------------------------------- *)
+
+module MC = Ac3_model.Checker
+module Model_repro = Ac3_chaos.Model_repro
+
+let mc_protocol_conv =
+  Arg.enum [ ("herlihy", MC.Herlihy); ("nolan", MC.Nolan); ("ac3wn", MC.Ac3wn) ]
+
+(* The chaos-spec equivalent of each built-in scenario, so an exported
+   counterexample concretizes against exactly the graph that was
+   checked (Runner.build_graph is shared by both paths). *)
+let check_spec ~scenario ~parties ~seed =
+  match scenario with
+  | Two_party -> { Plan.seed; shape = Plan.Two_party; parties = 2; nchains = 2; extra_edges = 0 }
+  | Ring ->
+      let n = max 2 parties in
+      { Plan.seed; shape = Plan.Ring; parties = n; nchains = n; extra_edges = 0 }
+  | Cyclic -> { Plan.seed; shape = Plan.Cyclic; parties = 3; nchains = 3; extra_edges = 0 }
+  | Disconnected ->
+      { Plan.seed; shape = Plan.Disconnected; parties = 4; nchains = 4; extra_edges = 0 }
+  | Supply_chain ->
+      { Plan.seed; shape = Plan.Supply_chain; parties = 4; nchains = 3; extra_edges = 0 }
+
+let all_scenarios = [ Two_party; Ring; Cyclic; Disconnected; Supply_chain ]
+
+let default_scenarios = function
+  | MC.Herlihy -> [ Two_party; Ring ]
+  | MC.Nolan -> [ Two_party ]
+  | MC.Ac3wn -> all_scenarios
+
+let export_counterexample ~path results =
+  match
+    List.find_opt (fun (_, _, _, r) -> r.MC.violations <> []) results
+  with
+  | None ->
+      Fmt.epr "export: no violation to concretize@.";
+      ()
+  | Some (p, s, spec, r) ->
+      let v = List.hd r.MC.violations in
+      let note =
+        Printf.sprintf "%s counterexample: %s on %s" v.Ac3_model.Rules.rule (MC.protocol_name p)
+          (scenario_name s)
+      in
+      let outcome =
+        Model_repro.concretize ~note ~spec ~protocol:p ~schedule:v.Ac3_model.Rules.schedule ()
+      in
+      let oc = open_out_bin path in
+      output_string oc (Repro.to_string outcome.Model_repro.repro);
+      close_out oc;
+      Fmt.epr "export: %s concretized in %d dynamic run(s), %s; reproducer written to %s@."
+        v.Ac3_model.Rules.rule outcome.Model_repro.attempts
+        (if outcome.Model_repro.confirmed then "violation CONFIRMED on the simulator"
+         else "not confirmed dynamically")
+        path
+
+let check_stats_json (s : MC.stats) =
+  Json.Obj
+    [
+      ("nodes", Json.Int s.MC.nodes);
+      ("transitions", Json.Int s.MC.transitions);
+      ("por_skipped", Json.Int s.MC.por_skipped);
+      ("peak_frontier", Json.Int s.MC.peak_frontier);
+      ("truncated", Json.Bool s.MC.truncated);
+    ]
+
+let run_check protocol scenario parties delta slack crashes max_nodes json export seed quiet =
+  let config =
+    { MC.delta; timelock_slack = slack; start_time = 0.0; max_nodes; crash_budget = crashes }
+  in
+  let pairs =
+    match (protocol, scenario) with
+    | Some p, Some s -> [ (p, s) ]
+    | Some p, None -> List.map (fun s -> (p, s)) (default_scenarios p)
+    | None, Some s ->
+        List.filter_map
+          (fun p -> if List.mem s (default_scenarios p) then Some (p, s) else None)
+          [ MC.Herlihy; MC.Nolan; MC.Ac3wn ]
+    | None, None ->
+        List.concat_map
+          (fun p -> List.map (fun s -> (p, s)) (default_scenarios p))
+          [ MC.Herlihy; MC.Nolan; MC.Ac3wn ]
+  in
+  let results =
+    List.map
+      (fun (p, s) ->
+        let spec = check_spec ~scenario:s ~parties ~seed in
+        let ids = S.identities ~ns:"check" spec.Plan.parties in
+        let graph = Runner.build_graph ~spec ~ids ~timestamp:1.0 in
+        let report = MC.check ~config ~protocol:p ~graph in
+        (p, s, spec, report))
+      pairs
+  in
+  Option.iter (fun path -> export_counterexample ~path results) export;
+  let section_name p s = Printf.sprintf "%s model (%s)" (MC.protocol_name p) (scenario_name s) in
+  let ok = List.for_all (fun (_, _, _, r) -> MC.ok r) results in
+  if json then begin
+    let sections =
+      List.map
+        (fun (p, s, _, r) ->
+          Json.Obj
+            [
+              ("name", Json.String (section_name p s));
+              ("protocol", Json.String (MC.protocol_name p));
+              ("scenario", Json.String (scenario_name s));
+              ("ok", Json.Bool (MC.ok r));
+              ("stats", check_stats_json r.MC.stats);
+              ( "diagnostics",
+                Json.List (List.map Diagnostic.to_json (Diagnostic.dedupe r.MC.diagnostics)) );
+            ])
+        results
+    in
+    print_string
+      (Json.to_string_pretty (Json.Obj [ ("ok", Json.Bool ok); ("sections", Json.List sections) ]));
+    print_newline ();
+    if ok then 0 else 2
+  end
+  else begin
+    List.iter
+      (fun (p, s, _, r) ->
+        ignore (print_section ~quiet (section_name p s, Diagnostic.dedupe r.MC.diagnostics));
+        Fmt.pr "   %a@." MC.pp_stats r.MC.stats)
+      results;
+    if ok then begin
+      Fmt.pr "@.check: %d section(s), all ok@." (List.length results);
+      0
+    end
+    else begin
+      let failed = List.filter (fun (_, _, _, r) -> not (MC.ok r)) results in
+      Fmt.pr "@.check: %d of %d section(s) found violations@." (List.length failed)
+        (List.length results);
+      2
+    end
+  end
+
+let check_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt (some mc_protocol_conv) None
+      & info [ "protocol"; "p" ] ~doc:"Restrict to one protocol (default: all three).")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some scenario_conv) None
+      & info [ "scenario"; "s" ] ~doc:"Restrict to one scenario graph.")
+  in
+  let parties = Arg.(value & opt int 4 & info [ "parties"; "n" ] ~doc:"Ring size (ring scenario).") in
+  let delta = Arg.(value & opt float 15.0 & info [ "delta" ] ~doc:"Timelock unit (virtual seconds).") in
+  let slack =
+    Arg.(value & opt float 2.0 & info [ "slack" ] ~doc:"Extra deltas of timelock margin.")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 1
+      & info [ "crashes" ] ~doc:"Fault budget: how many parties the adversary may crash.")
+  in
+  let max_nodes =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-nodes" ] ~doc:"Bound on explored product states (M005 when hit).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output with stable field order.")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Concretize the first counterexample into a chaos reproducer JSON (replayable with \
+             $(b,ac3 chaos --replay)).")
+  in
+  let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"Seed for the exported reproducer's universe.") in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Hide info-level diagnostics.") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check whole transactions: explore every interleaving of protocol moves, timelock \
+          expiries and crash faults, and emit replayable counterexamples")
+    Term.(
+      const run_check $ protocol $ scenario $ parties $ delta $ slack $ crashes $ max_nodes $ json
+      $ export $ seed $ quiet)
+
 let () =
   let doc = "Atomic commitment across blockchains (AC3WN reproduction)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ac3" ~doc)
-          [ swap_cmd; verify_cmd; analyze_cmd; attack_cmd; chaos_cmd ]))
+          [ swap_cmd; verify_cmd; check_cmd; analyze_cmd; attack_cmd; chaos_cmd ]))

@@ -1,0 +1,33 @@
+(** Concretize model-checker counterexamples into replayable chaos
+    reproducers.
+
+    The bridge that makes static M-rule violations falsifiable: the
+    checker's untimed crash schedule is turned into timed
+    [Plan.Crash] faults, searched over a small ladder of crash times
+    until the oracle confirms a dynamic atomicity violation, and
+    packaged as a {!Repro.t} whose expectations are actual fresh-run
+    verdicts — so [ac3 chaos replay] on the exported JSON passes by
+    construction. *)
+
+type outcome = {
+  repro : Repro.t;
+  confirmed : bool;
+      (** some candidate plan made the oracle report [deposit_lost]
+          under the target protocol *)
+  attempts : int;  (** dynamic runs spent searching for a confirming time *)
+}
+
+val runner_protocol : Ac3_model.Checker.protocol -> Runner.protocol
+
+(** [concretize ~spec ~protocol ~schedule ()] — [schedule] is a
+    violation's move list from {!Ac3_model.Rules}; only its [Crash]
+    moves matter. With no crash moves the plan is empty and
+    [confirmed] is false (fault-free violations need no concretizing:
+    the bare replay already exhibits them). *)
+val concretize :
+  ?note:string ->
+  spec:Plan.spec ->
+  protocol:Ac3_model.Checker.protocol ->
+  schedule:Ac3_model.Semantics.move list ->
+  unit ->
+  outcome

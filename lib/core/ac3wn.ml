@@ -418,6 +418,10 @@ let execute universe ~config ~graph ~participants ?(hooks = []) ?abort_after ?(v
   (if verify then
      let preflight =
        Ac3_verify.Diagnostic.errors (Ac3_verify.Verify.ac3wn_preflight ~graph)
+       (* Timelock parameters are irrelevant to the witness protocol's
+          product model; zero fault budget, as for Herlihy. *)
+       @ Ac3_model.Checker.preflight_errors ~protocol:Ac3_model.Checker.Ac3wn ~graph
+           ~delta:1.0 ~timelock_slack:0.0 ~start_time:0.0
      in
      if preflight <> [] then
        invalid_arg

@@ -302,6 +302,11 @@ let execute universe ~config ~graph ~participants ?(hooks = []) ?(verify = false
       Ac3_verify.Diagnostic.errors
         (Ac3_verify.Verify.herlihy_preflight ~graph ~delta:config.delta
            ~timelock_slack:config.timelock_slack ~start_time:(Universe.now universe))
+      (* Model-check the whole transaction at zero fault budget: even a
+         well-formed graph must not violate atomicity fault-free. *)
+      @ Ac3_model.Checker.preflight_errors ~protocol:Ac3_model.Checker.Herlihy ~graph
+          ~delta:config.delta ~timelock_slack:config.timelock_slack
+          ~start_time:(Universe.now universe)
   in
   if preflight <> [] then
     Error (Fmt.str "static verification failed:@.%s" (Ac3_verify.Verify.render preflight))

@@ -1,0 +1,125 @@
+(* Bounded breadth-first exploration of the product automaton.
+
+   States are interned by their canonical byte key, so all interleavings
+   of commuting moves that reach the same global state share one node.
+   BFS order means the first node satisfying a violation predicate has a
+   shortest-possible event schedule, which the rules report verbatim as
+   the counterexample. *)
+
+type node = {
+  id : int;
+  state : Global_state.t;
+  pred : (int * Semantics.move) option;  (** BFS tree edge used to reach this node *)
+  depth : int;
+}
+
+type t = {
+  model : Semantics.model;
+  nodes : (int, node) Hashtbl.t;
+  succs : (int, (Semantics.move * int) list) Hashtbl.t;
+  n_nodes : int;
+  n_transitions : int;
+  por_skipped : int;  (** transitions pruned by the partial-order reduction *)
+  peak_frontier : int;
+  truncated : bool;
+}
+
+let run ?(max_nodes = 20_000) model =
+  let index = Hashtbl.create 1024 in
+  let nodes = Hashtbl.create 1024 in
+  let succs = Hashtbl.create 1024 in
+  let count = ref 0 in
+  let n_transitions = ref 0 in
+  let por_skipped = ref 0 in
+  let peak_frontier = ref 0 in
+  let truncated = ref false in
+  let pending = Queue.create () in
+  let intern ~pred ~depth state =
+    let k = Global_state.key state in
+    match Hashtbl.find_opt index k with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.replace index k id;
+        Hashtbl.replace nodes id { id; state; pred; depth };
+        Queue.push id pending;
+        if Queue.length pending > !peak_frontier then peak_frontier := Queue.length pending;
+        id
+  in
+  ignore (intern ~pred:None ~depth:0 (Semantics.init model));
+  while not (Queue.is_empty pending) do
+    let id = Queue.pop pending in
+    let n = Hashtbl.find nodes id in
+    let moves, skipped = Semantics.reduced model n.state in
+    por_skipped := !por_skipped + skipped;
+    let out =
+      List.filter_map
+        (fun move ->
+          if !count >= max_nodes then begin
+            truncated := true;
+            None
+          end
+          else begin
+            let state' = Semantics.apply model n.state move in
+            let target = intern ~pred:(Some (id, move)) ~depth:(n.depth + 1) state' in
+            incr n_transitions;
+            Some (move, target)
+          end)
+        moves
+    in
+    Hashtbl.replace succs id out
+  done;
+  {
+    model;
+    nodes;
+    succs;
+    n_nodes = !count;
+    n_transitions = !n_transitions;
+    por_skipped = !por_skipped;
+    peak_frontier = !peak_frontier;
+    truncated = !truncated;
+  }
+
+let node t id = Hashtbl.find t.nodes id
+
+(* The BFS tree path from the initial state to [id], as a move list. *)
+let schedule t id =
+  let rec walk acc id =
+    match (node t id).pred with None -> acc | Some (p, move) -> walk (move :: acc) p
+  in
+  walk [] id
+
+(* Visit nodes in id (BFS) order: the first match has a shortest
+   schedule. *)
+let find_first t pred =
+  let rec go id = if id >= t.n_nodes then None else if pred (node t id) then Some id else go (id + 1) in
+  go 0
+
+let iter_succs t f = Hashtbl.iter (fun id out -> List.iter (fun (mv, tgt) -> f id mv tgt) out) t.succs
+
+(* --- Settlement reachability under the recovery closure --------------- *)
+
+(* Can [state] still reach a fully settled state if every crashed party
+   recovers? Used by M002: a state that cannot is a true global deadlock,
+   not a liveness wound. Explored over the revived state space with its
+   own memo table (shared across queries); the space is a small quotient
+   of the explored one because alive/crash components are normalized. *)
+let can_settle_memo t =
+  let memo = Hashtbl.create 256 in
+  let rec go state =
+    let state = Global_state.revive state in
+    let k = Global_state.key state in
+    match Hashtbl.find_opt memo k with
+    | Some v -> v
+    | None ->
+        let v =
+          Global_state.settled state
+          ||
+          let moves, _ = Semantics.reduced t.model state in
+          List.exists (fun move -> go (Semantics.apply t.model state move)) moves
+        in
+        Hashtbl.replace memo k v;
+        v
+  in
+  go

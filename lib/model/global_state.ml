@@ -1,0 +1,81 @@
+(* The global state of one AC2T execution, as the model checker sees it.
+
+   A state is the product of every contract's settlement status plus the
+   protocol-level facts that gate transitions: who can produce the
+   hashlock secret, who is still alive, how many timelock deadlines have
+   passed, and (for AC3WN) the witness network's decision. Continuous
+   time is abstracted into an index over the finitely many distinct
+   timelock expiries: two clock values between the same two deadlines
+   enable exactly the same moves, so nothing else is reachable. *)
+
+type edge_status = Unpublished | Published | Redeemed | Refunded
+
+type witness =
+  | W_none  (** the protocol has no witness network (Nolan/Herlihy) *)
+  | W_undecided
+  | W_redeem
+  | W_refund
+
+type t = {
+  edges : edge_status array;  (** per-edge contract status, in graph edge order *)
+  knows : bool array;  (** per-party: can produce the hashlock secret *)
+  alive : bool array;  (** per-party: still acting (conforming until crashed) *)
+  time : int;  (** how many distinct timelock deadlines have passed *)
+  witness : witness;
+  crashes_left : int;  (** remaining fault budget *)
+}
+
+let status_char = function
+  | Unpublished -> 'U'
+  | Published -> 'P'
+  | Redeemed -> 'D'
+  | Refunded -> 'F'
+
+let witness_char = function W_none -> '-' | W_undecided -> '?' | W_redeem -> 'D' | W_refund -> 'F'
+
+(* Canonical byte key: interning two states with equal keys merges the
+   commuting-diamond interleavings that reach them. *)
+let key s =
+  let b = Buffer.create 64 in
+  Array.iter (fun e -> Buffer.add_char b (status_char e)) s.edges;
+  Buffer.add_char b '|';
+  Array.iter (fun k -> Buffer.add_char b (if k then '1' else '0')) s.knows;
+  Buffer.add_char b '|';
+  Array.iter (fun a -> Buffer.add_char b (if a then '1' else '0')) s.alive;
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int s.time);
+  Buffer.add_char b (witness_char s.witness);
+  Buffer.add_string b (string_of_int s.crashes_left);
+  Buffer.contents b
+
+(* --- Predicates the M-rules are stated over -------------------------- *)
+
+(* Sec 3's "deposit lost": some deposit was redeemed while another was
+   refunded, so somebody paid and was not paid. *)
+let mixed_settlement s =
+  Array.exists (( = ) Redeemed) s.edges && Array.exists (( = ) Refunded) s.edges
+
+(* Nothing is left locked: every edge is either settled or was never
+   published (an unpublished contract holds no deposit). *)
+let settled s = Array.for_all (fun e -> e <> Published) s.edges
+
+(* Recovery closure for the deadlock rule: revive every crashed party and
+   drop the remaining fault budget. A state counts as deadlocked only if
+   it cannot settle even after every party comes back. *)
+let revive s =
+  {
+    s with
+    alive = Array.map (fun _ -> true) s.alive;
+    crashes_left = 0;
+  }
+
+let pp_status ppf e = Fmt.char ppf (status_char e)
+
+let pp ppf s =
+  Fmt.pf ppf "edges=[%a] knows=[%a] alive=[%a] time=%d witness=%c"
+    (Fmt.array ~sep:Fmt.nop pp_status)
+    s.edges
+    (Fmt.array ~sep:Fmt.nop (fun ppf k -> Fmt.char ppf (if k then '1' else '0')))
+    s.knows
+    (Fmt.array ~sep:Fmt.nop (fun ppf a -> Fmt.char ppf (if a then '1' else '0')))
+    s.alive s.time (witness_char s.witness)

@@ -24,6 +24,35 @@ let has_errors ds = List.exists (fun d -> d.severity = Error) ds
 
 let by_rule rule ds = List.filter (fun d -> String.equal d.rule rule) ds
 
+(* Drop exact repeats: several passes can derive the same fact about the
+   same location (e.g. a preflight composing overlapping rule sets), and
+   printing it twice only buries the distinct findings. Order and first
+   occurrences are preserved; distinct messages at the same (rule,
+   location) key are NOT merged — they carry different facts. *)
+let dedupe ds =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let key = (d.rule, d.location, d.message) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    ds
+
+let severity_to_string = function Info -> "info" | Warning -> "warning" | Error -> "error"
+
+let to_json d =
+  let module Json = Ac3_crypto.Codec.Json in
+  Json.Obj
+    [
+      ("severity", Json.String (severity_to_string d.severity));
+      ("rule", Json.String d.rule);
+      ("location", Json.String d.location);
+      ("message", Json.String d.message);
+    ]
+
 let pp_severity ppf = function
   | Info -> Fmt.string ppf "info"
   | Warning -> Fmt.string ppf "warning"

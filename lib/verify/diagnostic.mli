@@ -27,6 +27,16 @@ val has_errors : t list -> bool
 (** Diagnostics matching a rule id. *)
 val by_rule : string -> t list -> t list
 
+(** Drop exact (rule, location, message) repeats, keeping first
+    occurrences in order. Distinct messages at the same location are
+    kept — they carry different facts. *)
+val dedupe : t list -> t list
+
+val severity_to_string : severity -> string
+
+(** Stable field order: severity, rule, location, message. *)
+val to_json : t -> Ac3_crypto.Codec.Json.t
+
 val pp_severity : Format.formatter -> severity -> unit
 
 val pp : Format.formatter -> t -> unit

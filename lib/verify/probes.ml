@@ -42,7 +42,7 @@ let swap_probes ~fns_with_args ~times =
           ("stranger", Keys.public stranger) ])
     fns_with_args
 
-let htlc ?(deposit = Amount.of_int 1000) ?(timelock = 100.0) () =
+let htlc ?(deposit = Amount.of_int 1000) ?(timelock = 100.0) ?(max_nodes = 256) () =
   let secret = "ac3-verify-htlc-secret" in
   let fns_with_args =
     [
@@ -63,10 +63,10 @@ let htlc ?(deposit = Amount.of_int 1000) ?(timelock = 100.0) () =
     init_time = 0.0;
     probes = swap_probes ~fns_with_args ~times;
     classify = swap_cls;
-    max_nodes = 256;
+    max_nodes;
   }
 
-let centralized ?(deposit = Amount.of_int 1000) () =
+let centralized ?(deposit = Amount.of_int 1000) ?(max_nodes = 256) () =
   let trent = Keys.create "ac3-verify:trent" in
   let ms_id = Ac3_crypto.Sha256.digest "ac3-verify-ms" in
   let signed decision = Keys.sign trent (Centralized_sc.decision_message ~ms_id decision) in
@@ -94,10 +94,10 @@ let centralized ?(deposit = Amount.of_int 1000) () =
     init_time = 0.0;
     probes = swap_probes ~fns_with_args ~times;
     classify = swap_cls;
-    max_nodes = 256;
+    max_nodes;
   }
 
-let witness () =
+let witness ?(max_nodes = 64) () =
   let a = Keys.create "ac3-verify:wa" in
   let b = Keys.create "ac3-verify:wb" in
   let graph =
@@ -153,5 +153,5 @@ let witness () =
           ~time:10.0;
       ];
     classify = scw_cls;
-    max_nodes = 64;
+    max_nodes;
   }

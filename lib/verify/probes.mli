@@ -9,13 +9,15 @@
 open Ac3_chain
 
 (** The HTLC of Nolan/Herlihy: hashlock redemption, timelock refund.
-    [timelock] defaults to 100.0; probes straddle it. *)
-val htlc : ?deposit:Amount.t -> ?timelock:float -> unit -> State_machine.spec
+    [timelock] defaults to 100.0; probes straddle it. [max_nodes]
+    bounds the S-pass exploration (default 256); exceeding it yields
+    [S005-truncated]. *)
+val htlc : ?deposit:Amount.t -> ?timelock:float -> ?max_nodes:int -> unit -> State_machine.spec
 
 (** The AC3TW swap contract: redemption and refund are Trent's
     signatures over (ms(D), RD) / (ms(D), RF); probes present the right
     signature, the opposite decision's signature, and garbage. *)
-val centralized : ?deposit:Amount.t -> unit -> State_machine.spec
+val centralized : ?deposit:Amount.t -> ?max_nodes:int -> unit -> State_machine.spec
 
 (** The AC3WN witness contract SCw over a minimal two-party graph.
     Probes exercise [authorize_refund] plus malformed
@@ -23,4 +25,4 @@ val centralized : ?deposit:Amount.t -> unit -> State_machine.spec
     chains and is covered by the simulator tests); the refund decision
     alone suffices to check absorption, exclusivity and the absence of
     stuck states. *)
-val witness : unit -> State_machine.spec
+val witness : ?max_nodes:int -> unit -> State_machine.spec

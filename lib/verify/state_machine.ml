@@ -174,10 +174,15 @@ let reachable_from a start =
 
 let node_loc n = Fmt.str "state #%d (%a, paid %a)" n.id pp_cls n.cls Amount.pp n.paid
 
-let check a =
+(* [name] identifies the owning contract in diagnostic locations, so a
+   report covering several contracts stays attributable: "htlc: state #3"
+   rather than a bare "state #3". *)
+let check ?name a =
+  let qual loc = match name with None -> loc | Some c -> c ^ ": " ^ loc in
+  let node_loc n = qual (node_loc n) in
   let ns = nodes a in
   let summary =
-    Diagnostic.info ~rule:"S000-summary" ~location:"automaton"
+    Diagnostic.info ~rule:"S000-summary" ~location:(qual "automaton")
       "%d reachable state(s), %d transition(s), classes {%a}" a.count a.n_transitions
       (Fmt.list ~sep:(Fmt.any " ") pp_cls)
       (classes a)
@@ -256,18 +261,19 @@ let check a =
   let trunc =
     if a.was_truncated then
       [
-        Diagnostic.warning ~rule:"S005-truncated" ~location:"automaton"
+        Diagnostic.warning ~rule:"S005-truncated" ~location:(qual "automaton")
           "exploration hit the node bound; the verdict covers only the explored prefix";
       ]
     else []
   in
   (summary :: stuck) @ absorbing @ confusion @ conservation @ trunc
 
-let verify spec =
+let verify ?name spec =
   match explore spec with
   | Error e ->
+      let loc = match name with None -> "deployment" | Some c -> c ^ ": deployment" in
       [
-        Diagnostic.error ~rule:"S006-init-rejected" ~location:"deployment"
+        Diagnostic.error ~rule:"S006-init-rejected" ~location:loc
           "the contract rejected its own deployment: %s" e;
       ]
-  | Ok a -> check a
+  | Ok a -> check ?name a

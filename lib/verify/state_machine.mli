@@ -72,10 +72,13 @@ val truncated : automaton -> bool
 (** Distinct classes among reachable states. *)
 val classes : automaton -> cls list
 
-val check : automaton -> Diagnostic.t list
+(** [name], when given, prefixes every diagnostic location with the
+    owning contract id ("htlc: state #3 ..."), keeping multi-contract
+    reports attributable. *)
+val check : ?name:string -> automaton -> Diagnostic.t list
 
 (** [explore] then [check]; a rejected deployment becomes a
     [S006-init-rejected] error. *)
-val verify : spec -> Diagnostic.t list
+val verify : ?name:string -> spec -> Diagnostic.t list
 
 val pp_cls : Format.formatter -> cls -> unit

@@ -18,8 +18,9 @@ val timelocks :
   start_time:float ->
   Diagnostic.t list
 
-(** Pass 3 alone (see {!State_machine}). *)
-val contract : State_machine.spec -> Diagnostic.t list
+(** Pass 3 alone (see {!State_machine}); [name] prefixes diagnostic
+    locations with the owning contract id. *)
+val contract : ?name:string -> State_machine.spec -> Diagnostic.t list
 
 (** Graph lints under the single-leader profile plus the timelock-order
     pass: everything that must hold before [Herlihy.execute] (or

@@ -275,6 +275,42 @@ let test_ac3wn_preflight_all_scenarios () =
       ("supply-chain", supply_chain ());
     ]
 
+(* --- diagnostics plumbing: dedupe, JSON, location attribution ---------- *)
+
+let test_diagnostic_dedupe () =
+  let d1 = D.error ~rule:"X001" ~location:"here" "same" in
+  let d2 = D.error ~rule:"X001" ~location:"here" "different" in
+  let deduped = D.dedupe [ d1; d2; d1; d1; d2 ] in
+  Alcotest.(check int) "exact repeats dropped" 2 (List.length deduped);
+  Alcotest.(check bool) "order and content preserved" true (deduped = [ d1; d2 ])
+
+let test_diagnostic_json () =
+  let module Json = Ac3_crypto.Codec.Json in
+  let d = D.warning ~rule:"S005-truncated" ~location:"automaton" "bound hit" in
+  let j = D.to_json d in
+  Alcotest.(check string) "severity" "warning" (Json.to_str (Json.member "severity" j));
+  Alcotest.(check string) "rule" "S005-truncated" (Json.to_str (Json.member "rule" j));
+  Alcotest.(check string) "message" "bound hit" (Json.to_str (Json.member "message" j))
+
+let test_state_machine_max_nodes () =
+  (* A user-lowered bound must still surface as S005 — the verdict only
+     covers the explored prefix. *)
+  let ds = V.contract (Probes.htlc ~max_nodes:2 ()) in
+  Alcotest.(check bool) "S005 at user bound" true (has "S005-truncated" ds);
+  let default = V.contract (Probes.htlc ()) in
+  Alcotest.(check bool) "no S005 at default bound" false (has "S005-truncated" default)
+
+let test_contract_name_attribution () =
+  let ds = V.contract ~name:"htlc" (Probes.htlc ()) in
+  Alcotest.(check bool) "diagnostics present" true (ds <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "location %S names the contract" d.D.location)
+        true
+        (Astring.String.is_prefix ~affix:"htlc: " d.D.location))
+    ds
+
 let () =
   Alcotest.run "verify"
     [
@@ -310,5 +346,12 @@ let () =
           Alcotest.test_case "herlihy commits with verification on" `Slow
             test_herlihy_verify_commits;
           Alcotest.test_case "ac3wn accepts all scenarios" `Quick test_ac3wn_preflight_all_scenarios;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "dedupe drops exact repeats" `Quick test_diagnostic_dedupe;
+          Alcotest.test_case "stable JSON fields" `Quick test_diagnostic_json;
+          Alcotest.test_case "user node bound yields S005" `Quick test_state_machine_max_nodes;
+          Alcotest.test_case "locations name the contract" `Quick test_contract_name_attribution;
         ] );
     ]
