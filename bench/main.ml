@@ -5,9 +5,10 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- quick   # skip the slowest sections
+     dune exec bench/main.exe -- par     # only E13 (domain-pool scaling, 200 runs)
 
-   Experiment ids (E1..E9, A1) are indexed in DESIGN.md and results are
-   recorded in EXPERIMENTS.md. *)
+   Experiment ids (E1..E13, A1, A2) are indexed in DESIGN.md and results
+   are recorded in EXPERIMENTS.md. *)
 
 module E = Ac3_core.Experiment
 module Analysis = Ac3_core.Analysis
@@ -402,6 +403,59 @@ let model_check () =
   close_out oc;
   Fmt.pr "  results written to BENCH_model.json@."
 
+(* --- E13: parallel sweep scaling ----------------------------------------- *)
+
+module Pool = Ac3_par.Pool
+module Runner = Ac3_chaos.Runner
+
+(* Wall-clock (not [Sys.time], which sums CPU across domains) of the
+   same chaos sweep at 1/2/4/8 worker domains, plus a byte-identity
+   check of every summary against the sequential one; results land in
+   BENCH_par.json. *)
+let par_scaling ~runs () =
+  section "E13 / ac3 chaos --jobs — domain-pool scaling of the chaos sweep";
+  Fmt.pr "%d-run sweep on %d available domain(s); summaries must be identical.@.@."
+    runs (Pool.default_jobs ());
+  let time_sweep jobs =
+    let t0 = Unix.gettimeofday () in
+    let summary = Runner.sweep ~jobs ~seed:1 ~runs () in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (elapsed, Fmt.str "%a" Runner.pp_summary summary)
+  in
+  let base_elapsed, base_summary = time_sweep 1 in
+  let rows =
+    List.map
+      (fun jobs ->
+        let elapsed, summary =
+          if jobs = 1 then (base_elapsed, base_summary) else time_sweep jobs
+        in
+        let identical = String.equal summary base_summary in
+        let speedup = if elapsed > 0.0 then base_elapsed /. elapsed else 0.0 in
+        Fmt.pr "  jobs %d: %7.2f s  speedup %.2fx  identical=%b@." jobs elapsed speedup
+          identical;
+        ( string_of_int jobs,
+          Json.Obj
+            [
+              ("jobs", Json.Int jobs);
+              ("elapsed_s", Json.Float elapsed);
+              ("speedup", Json.Float speedup);
+              ("identical", Json.Bool identical);
+            ] ))
+      [ 1; 2; 4; 8 ]
+  in
+  let oc = open_out_bin "BENCH_par.json" in
+  output_string oc
+    (Json.to_string_pretty
+       (Json.Obj
+          [
+            ("runs", Json.Int runs);
+            ("domains_available", Json.Int (Pool.default_jobs ()));
+            ("sweeps", Json.Obj rows);
+          ]));
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "  results written to BENCH_par.json@."
+
 let run_bechamel () =
   section "Bechamel micro-benchmarks (one kernel per table/figure)";
   let open Bechamel in
@@ -422,9 +476,15 @@ let run_bechamel () =
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  let par_only = Array.exists (fun a -> a = "par") Sys.argv in
   Fmt.pr "AC3WN reproduction benchmark harness (seeded, deterministic).@.";
   Fmt.pr "Δ = %.0f virtual seconds (confirm depth %d x %.0f s blocks) in protocol runs.@."
     E.delta E.confirm_depth E.block_interval;
+  if par_only then begin
+    par_scaling ~runs:200 ();
+    Fmt.pr "@.Done.@.";
+    exit 0
+  end;
   fig8_fig9 ();
   fig10 ();
   cost ();
@@ -438,5 +498,6 @@ let () =
   evidence ();
   if not quick then depth_latency ();
   model_check ();
+  if not quick then par_scaling ~runs:50 ();
   run_bechamel ();
   Fmt.pr "@.Done.@."

@@ -32,6 +32,19 @@ module P = Ac3_core.Participant
 module Analysis = Ac3_core.Analysis
 module Attack = Ac3_core.Attack
 module Ac2t = Ac3_contract.Ac2t
+module Pool = Ac3_par.Pool
+
+(* Shared by the sweep-shaped subcommands (chaos, check, attack):
+   worker-domain count, defaulting to what the hardware offers. Output
+   is byte-identical for every value — parallelism only buys time. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep (default: the hardware's domain count; 1 = sequential). \
+           Output is byte-identical for every value.")
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -352,8 +365,7 @@ let analyze_cmd =
 
 (* --- attack -------------------------------------------------------------------- *)
 
-let run_attack q trials seed =
-  let rng = Ac3_sim.Rng.create seed in
+let run_attack q trials seed jobs =
   Fmt.pr "51%% rental attack on the witness network: q = %.2f, %d trials/depth@.@." q trials;
   Fmt.pr "  d | success rate | analytic | mean rental cost@.";
   Fmt.pr " ---+--------------+----------+-----------------@.";
@@ -361,8 +373,8 @@ let run_attack q trials seed =
     (fun (r : Attack.estimate) ->
       Fmt.pr " %2d | %12.3f | %8.3f | $%.0f@." r.Attack.d r.Attack.success_rate r.Attack.analytic
         r.Attack.mean_cost_usd)
-    (Attack.depth_sweep rng ~q ~depths:[ 0; 1; 2; 4; 6; 10; 20 ] ~block_interval:600.0 ~trials
-       ~cost_per_hour:300_000.0);
+    (Attack.depth_sweep_par ~jobs ~seed ~q ~depths:[ 0; 1; 2; 4; 6; 10; 20 ] ~block_interval:600.0
+       ~trials ~cost_per_hour:300_000.0 ());
   Fmt.pr "@.Paper's rule of thumb: protecting Va requires d > Va*dh/Ch;@.";
   Fmt.pr "e.g. Va = $1M on a Bitcoin-like witness => d > %d.@."
     (Analysis.paper_example_depth ());
@@ -374,7 +386,7 @@ let attack_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
   Cmd.v
     (Cmd.info "attack" ~doc:"Simulate 51% attacks on the witness network (Sec 6.3)")
-    Term.(const run_attack $ q $ trials $ seed)
+    Term.(const run_attack $ q $ trials $ seed $ jobs_arg)
 
 (* --- chaos -------------------------------------------------------------------- *)
 
@@ -410,10 +422,10 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let chaos_replay path =
+let chaos_replay ~jobs path =
   let repro = Repro.of_string (read_file path) in
   Fmt.pr "replaying %s (%a; %a)@." path Plan.pp_spec repro.Repro.spec Plan.pp repro.Repro.plan;
-  let results = Repro.replay repro in
+  let results = Repro.replay ~jobs repro in
   List.iter (fun r -> Fmt.pr "%a@." Repro.pp_replay_result r) results;
   if Repro.replay_ok results then begin
     Fmt.pr "replay: all %d expectation(s) matched@." (List.length results);
@@ -424,11 +436,11 @@ let chaos_replay path =
     2
   end
 
-let chaos_shrink ~seed ~protocol ~out =
+let chaos_shrink ~seed ~protocol ~jobs ~out =
   let spec, plan = Plan.sample ~seed in
   Fmt.pr "seed %d: %a@.plan:@.%a@." seed Plan.pp_spec spec Plan.pp plan;
   let protocols = match protocol with Some p -> [ p ] | None -> Runner.all_protocols in
-  let reports = Runner.run_all ~protocols ~spec ~plan () in
+  let reports = Runner.run_all ~protocols ~jobs ~spec ~plan () in
   List.iter report_line reports;
   match List.find_opt Runner.failed reports with
   | None ->
@@ -438,10 +450,10 @@ let chaos_shrink ~seed ~protocol ~out =
       let target = failing.Runner.protocol in
       Fmt.pr "shrinking the %s violation...@." (Runner.protocol_name target);
       let log line = Fmt.epr "%s@." line in
-      let shrunk = Shrink.shrink ~log ~spec ~protocol:target plan in
+      let shrunk = Shrink.shrink ~log ~jobs ~spec ~protocol:target plan in
       Fmt.pr "shrunk plan (%d -> %d faults):@.%a@." (List.length plan) (List.length shrunk)
         Plan.pp shrunk;
-      let shrunk_reports = Runner.run_all ~spec ~plan:shrunk () in
+      let shrunk_reports = Runner.run_all ~jobs ~spec ~plan:shrunk () in
       let note =
         Printf.sprintf "shrunk from seed %d; violating protocol: %s" seed
           (Runner.protocol_name target)
@@ -472,15 +484,15 @@ let chaos_shrink ~seed ~protocol ~out =
       | None -> ());
       0
 
-let run_chaos seed runs protocol replay shrink out verbose =
+let run_chaos seed runs protocol replay shrink out jobs verbose =
   match replay with
-  | Some path -> chaos_replay path
+  | Some path -> chaos_replay ~jobs path
   | None ->
-      if shrink then chaos_shrink ~seed ~protocol ~out
+      if shrink then chaos_shrink ~seed ~protocol ~jobs ~out
       else begin
         let protocols = match protocol with Some p -> [ p ] | None -> Runner.all_protocols in
         let on_report = if verbose then Some report_line else None in
-        let summary = Runner.sweep ~protocols ?on_report ~seed ~runs () in
+        let summary = Runner.sweep ~protocols ?on_report ~jobs ~seed ~runs () in
         Fmt.pr "%a@." Runner.pp_summary summary;
         if summary.Runner.unexplained_failures > 0 then 3 else 0
       end
@@ -515,7 +527,7 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Deterministic fault-injection sweeps: seeded plans, atomicity oracle, shrinking")
-    Term.(const run_chaos $ seed $ runs $ protocol $ replay $ shrink $ out $ verbose)
+    Term.(const run_chaos $ seed $ runs $ protocol $ replay $ shrink $ out $ jobs_arg $ verbose)
 
 (* --- check -------------------------------------------------------------------- *)
 
@@ -582,7 +594,7 @@ let check_stats_json (s : MC.stats) =
       ("truncated", Json.Bool s.MC.truncated);
     ]
 
-let run_check protocol scenario parties delta slack crashes max_nodes json export seed quiet =
+let run_check protocol scenario parties delta slack crashes max_nodes json export seed jobs quiet =
   let config =
     { MC.delta; timelock_slack = slack; start_time = 0.0; max_nodes; crash_budget = crashes }
   in
@@ -600,7 +612,7 @@ let run_check protocol scenario parties delta slack crashes max_nodes json expor
           [ MC.Herlihy; MC.Nolan; MC.Ac3wn ]
   in
   let results =
-    List.map
+    Pool.map ~jobs
       (fun (p, s) ->
         let spec = check_spec ~scenario:s ~parties ~seed in
         let ids = S.identities ~ns:"check" spec.Plan.parties in
@@ -700,7 +712,7 @@ let check_cmd =
           expiries and crash faults, and emit replayable counterexamples")
     Term.(
       const run_check $ protocol $ scenario $ parties $ delta $ slack $ crashes $ max_nodes $ json
-      $ export $ seed $ quiet)
+      $ export $ seed $ jobs_arg $ quiet)
 
 let () =
   let doc = "Atomic commitment across blockchains (AC3WN reproduction)" in

@@ -103,7 +103,9 @@ let replay_one t expected =
   in
   { expected; report; matches }
 
-let replay t = List.map (replay_one t) t.expect
+(* Expectations re-run independently rebuilt universes, so they
+   parallelize; results keep expectation order for every [jobs]. *)
+let replay ?(jobs = 1) t = Ac3_par.Pool.map ~jobs (replay_one t) t.expect
 
 let replay_ok results = results <> [] && List.for_all (fun r -> r.matches) results
 

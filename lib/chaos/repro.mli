@@ -25,8 +25,10 @@ val of_string : string -> t
 
 type replay_result = { expected : expectation; report : Runner.report; matches : bool }
 
-(** Re-run every expected protocol under the stored spec and plan. *)
-val replay : t -> replay_result list
+(** Re-run every expected protocol under the stored spec and plan.
+    [jobs] parallelizes over expectations (order and results identical
+    for every value; default 1). *)
+val replay : ?jobs:int -> t -> replay_result list
 
 (** Non-empty and every protocol matched its expectation. *)
 val replay_ok : replay_result list -> bool

@@ -10,6 +10,7 @@
    traces. *)
 
 module Rng = Ac3_sim.Rng
+module Pool = Ac3_par.Pool
 module Trace = Ac3_sim.Trace
 module Keys = Ac3_crypto.Keys
 module Amount = Ac3_chain.Amount
@@ -174,8 +175,10 @@ let run_one ~spec ~plan ~protocol =
       finish ~trace:result.Ac3wn.trace
         (Verdict (Oracle.check ~universe ~graph ~contracts:result.Ac3wn.contracts ~static:Witness))
 
-let run_all ?(protocols = all_protocols) ~spec ~plan () =
-  List.map (fun protocol -> run_one ~spec ~plan ~protocol) protocols
+(* Protocols are independent runs over universes rebuilt from the same
+   spec, so they parallelize; collection preserves protocol order. *)
+let run_all ?(protocols = all_protocols) ?(jobs = 1) ~spec ~plan () =
+  Pool.map ~jobs (fun protocol -> run_one ~spec ~plan ~protocol) protocols
 
 (* ------------------------------------------------------------------ *)
 (* Sweeps *)
@@ -231,23 +234,36 @@ let tally c = function
   | Skipped _ -> c.skipped <- c.skipped + 1
 
 (* Per-run seeds are consecutive so any sweep failure is reproducible in
-   isolation as [ac3 chaos --seed <fail_seed> --runs 1]. *)
-let sweep ?(protocols = all_protocols) ?on_report ~seed ~runs () =
+   isolation as [ac3 chaos --seed <fail_seed> --runs 1].
+
+   With [jobs > 1] the runs execute on an ac3_par domain pool. Each
+   task's entire state — universe, identities, fault plan — derives
+   from its own run seed, never from pool scheduling, and tallying
+   happens afterwards over the order-preserved task results in exactly
+   the sequential (run, protocol) order; the summary and every
+   [on_report] callback are therefore byte-identical for every [jobs]
+   (locked in by test/test_par.ml). *)
+let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ~seed ~runs () =
+  let reports_by_run =
+    Pool.run ~jobs
+      (List.init runs (fun k () ->
+           let run_seed = seed + k in
+           let spec, plan = Plan.sample ~seed:run_seed in
+           (run_seed, List.map (fun protocol -> run_one ~spec ~plan ~protocol) protocols)))
+  in
   let per = List.map (fun p -> (p, zero_counts ())) protocols in
   let failures = ref [] in
   let unexplained_failures = ref 0 in
-  for k = 0 to runs - 1 do
-    let run_seed = seed + k in
-    let spec, plan = Plan.sample ~seed:run_seed in
-    List.iter
-      (fun (protocol, counts) ->
-        let r = run_one ~spec ~plan ~protocol in
-        tally counts r.exec;
-        if failed r then failures := { fail_seed = run_seed; fail_protocol = protocol } :: !failures;
-        if unexplained r then incr unexplained_failures;
-        match on_report with None -> () | Some f -> f r)
-      per
-  done;
+  List.iter
+    (fun (run_seed, reports) ->
+      List.iter2
+        (fun (_, counts) r ->
+          tally counts r.exec;
+          if failed r then failures := { fail_seed = run_seed; fail_protocol = r.protocol } :: !failures;
+          if unexplained r then incr unexplained_failures;
+          match on_report with None -> () | Some f -> f r)
+        per reports)
+    reports_by_run;
   {
     sweep_seed = seed;
     sweep_runs = runs;

@@ -50,7 +50,10 @@ val build_graph :
 
 val run_one : spec:Plan.spec -> plan:Plan.t -> protocol:protocol -> report
 
-val run_all : ?protocols:protocol list -> spec:Plan.spec -> plan:Plan.t -> unit -> report list
+(** [jobs] runs the protocols on an [Ac3_par.Pool]; results keep
+    protocol order and are identical for every value (default 1). *)
+val run_all :
+  ?protocols:protocol list -> ?jobs:int -> spec:Plan.spec -> plan:Plan.t -> unit -> report list
 
 type counts = {
   mutable ran : int;
@@ -76,10 +79,14 @@ type summary = {
 
 (** Run [runs] sampled plans (per-run seeds [seed], [seed+1], ...), each
     against every protocol in [protocols]. [on_report] sees every
-    report as it completes (for verbose output or reproducer capture). *)
+    report in sequential (run, protocol) order — even under [jobs > 1],
+    where runs execute on an [Ac3_par.Pool] but tallying and callbacks
+    happen afterwards over the order-preserved results, so the summary
+    is byte-identical for every [jobs] value (default 1). *)
 val sweep :
   ?protocols:protocol list ->
   ?on_report:(report -> unit) ->
+  ?jobs:int ->
   seed:int ->
   runs:int ->
   unit ->

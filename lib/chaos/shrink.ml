@@ -6,7 +6,15 @@
    handful of re-runs), then weaken the survivors (halve durations and
    burst sizes). Every candidate is judged by a full deterministic
    re-run, so the result is guaranteed to still fail — the minimal
-   reproducer committed to the corpus. *)
+   reproducer committed to the corpus.
+
+   Candidate evaluation is the hot loop, and candidates are
+   independent, so with [jobs > 1] each round of candidates runs on an
+   ac3_par pool. [Pool.first_success] keeps the sequential semantics —
+   first surviving candidate by index wins — so the shrink trajectory,
+   final plan, and log lines are identical for every [jobs]. *)
+
+module Pool = Ac3_par.Pool
 
 let still_fails ~spec ~protocol plan = Runner.failed (Runner.run_one ~spec ~plan ~protocol)
 
@@ -15,23 +23,22 @@ let remove_at i plan = List.filteri (fun j _ -> j <> i) plan
 let replace_at i f plan = List.mapi (fun j g -> if j = i then f else g) plan
 
 (* First single-fault removal that still fails, if any. *)
-let drop_once ~spec ~protocol ~log plan =
+let drop_once ~jobs ~spec ~protocol ~log plan =
   let n = List.length plan in
-  let rec try_at i =
-    if i >= n then None
-    else
-      let candidate = remove_at i plan in
-      if still_fails ~spec ~protocol candidate then begin
-        log (Printf.sprintf "shrink: dropped fault %d/%d, still fails" (i + 1) n);
-        Some candidate
-      end
-      else try_at (i + 1)
-  in
-  try_at 0
+  match
+    Pool.first_success ~jobs
+      (List.init n (fun i () ->
+           let candidate = remove_at i plan in
+           if still_fails ~spec ~protocol candidate then Some (i, candidate) else None))
+  with
+  | Some (i, candidate) ->
+      log (Printf.sprintf "shrink: dropped fault %d/%d, still fails" (i + 1) n);
+      Some candidate
+  | None -> None
 
-let rec drop_to_fixpoint ~spec ~protocol ~log plan =
-  match drop_once ~spec ~protocol ~log plan with
-  | Some smaller -> drop_to_fixpoint ~spec ~protocol ~log smaller
+let rec drop_to_fixpoint ~jobs ~spec ~protocol ~log plan =
+  match drop_once ~jobs ~spec ~protocol ~log plan with
+  | Some smaller -> drop_to_fixpoint ~jobs ~spec ~protocol ~log smaller
   | None -> plan
 
 let min_duration = 10.0
@@ -55,29 +62,28 @@ let weaken_fault = function
   | Plan.Crash _ | Plan.Restart _ | Plan.Partition _ | Plan.Delay _ | Plan.Drop _
   | Plan.Mining_stall _ | Plan.Witness_outage _ | Plan.Mining_burst _ -> None
 
-let weaken_once ~spec ~protocol ~log plan =
+let weaken_once ~jobs ~spec ~protocol ~log plan =
   let n = List.length plan in
-  let rec try_at i =
-    if i >= n then None
-    else
-      match weaken_fault (List.nth plan i) with
-      | None -> try_at (i + 1)
-      | Some weaker ->
-          let candidate = replace_at i weaker plan in
-          if still_fails ~spec ~protocol candidate then begin
-            log (Printf.sprintf "shrink: weakened fault %d/%d, still fails" (i + 1) n);
-            Some candidate
-          end
-          else try_at (i + 1)
-  in
-  try_at 0
+  match
+    Pool.first_success ~jobs
+      (List.init n (fun i () ->
+           match weaken_fault (List.nth plan i) with
+           | None -> None
+           | Some weaker ->
+               let candidate = replace_at i weaker plan in
+               if still_fails ~spec ~protocol candidate then Some (i, candidate) else None))
+  with
+  | Some (i, candidate) ->
+      log (Printf.sprintf "shrink: weakened fault %d/%d, still fails" (i + 1) n);
+      Some candidate
+  | None -> None
 
-let rec weaken_to_fixpoint ~spec ~protocol ~log plan =
-  match weaken_once ~spec ~protocol ~log plan with
-  | Some weaker -> weaken_to_fixpoint ~spec ~protocol ~log weaker
+let rec weaken_to_fixpoint ~jobs ~spec ~protocol ~log plan =
+  match weaken_once ~jobs ~spec ~protocol ~log plan with
+  | Some weaker -> weaken_to_fixpoint ~jobs ~spec ~protocol ~log weaker
   | None -> plan
 
 (* Precondition: [plan] fails under [protocol]; the result still does. *)
-let shrink ?(log = fun _ -> ()) ~spec ~protocol plan =
-  let dropped = drop_to_fixpoint ~spec ~protocol ~log plan in
-  weaken_to_fixpoint ~spec ~protocol ~log dropped
+let shrink ?(log = fun _ -> ()) ?(jobs = 1) ~spec ~protocol plan =
+  let dropped = drop_to_fixpoint ~jobs ~spec ~protocol ~log plan in
+  weaken_to_fixpoint ~jobs ~spec ~protocol ~log dropped

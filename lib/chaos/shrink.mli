@@ -5,11 +5,20 @@
     dropping whole faults to a fixpoint, then weakening the survivors
     (halved durations, factors, probabilities, burst sizes). Each
     candidate is validated by a deterministic re-run. [log] receives a
-    line per successful shrink step. *)
+    line per successful shrink step.
+
+    [jobs > 1] evaluates each round's candidates on an [Ac3_par.Pool];
+    first-surviving-candidate-by-index semantics are preserved, so the
+    shrink trajectory and result are identical for every [jobs]. *)
 
 val still_fails : spec:Plan.spec -> protocol:Runner.protocol -> Plan.t -> bool
 
 val weaken_fault : Plan.fault -> Plan.fault option
 
 val shrink :
-  ?log:(string -> unit) -> spec:Plan.spec -> protocol:Runner.protocol -> Plan.t -> Plan.t
+  ?log:(string -> unit) ->
+  ?jobs:int ->
+  spec:Plan.spec ->
+  protocol:Runner.protocol ->
+  Plan.t ->
+  Plan.t

@@ -75,6 +75,18 @@ let estimate rng ~q ~d ~block_interval ~trials ~cost_per_hour =
 let depth_sweep rng ~q ~depths ~block_interval ~trials ~cost_per_hour =
   List.map (fun d -> estimate rng ~q ~d ~block_interval ~trials ~cost_per_hour) depths
 
+(* Parallel depth sweep. Unlike [depth_sweep], which threads one RNG
+   through the depths in order, every depth derives its own stream from
+   Splitmix(seed, depth index) — so the estimates are independent of
+   both execution order and [jobs], and parallel output is
+   bit-identical to sequential. *)
+let depth_sweep_par ?(jobs = 1) ~seed ~q ~depths ~block_interval ~trials ~cost_per_hour () =
+  Ac3_par.Pool.mapi ~jobs
+    (fun i d ->
+      let rng = Rng.create (Ac3_par.Pool.split_seed ~root:seed ~index:i) in
+      estimate rng ~q ~d ~block_interval ~trials ~cost_per_hour)
+    depths
+
 (* --- Concrete reorganization demo ------------------------------------- *)
 
 open Ac3_chain

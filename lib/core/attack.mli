@@ -31,7 +31,7 @@ val estimate :
   cost_per_hour:float ->
   estimate
 
-(** [estimate] across several depths. *)
+(** [estimate] across several depths, threading one RNG in order. *)
 val depth_sweep :
   Rng.t ->
   q:float ->
@@ -39,6 +39,20 @@ val depth_sweep :
   block_interval:float ->
   trials:int ->
   cost_per_hour:float ->
+  estimate list
+
+(** [estimate] across several depths on an [Ac3_par.Pool]. Each depth
+    draws from its own Splitmix(seed, index)-derived stream, so the
+    result is bit-identical for every [jobs] (default 1). *)
+val depth_sweep_par :
+  ?jobs:int ->
+  seed:int ->
+  q:float ->
+  depths:int list ->
+  block_interval:float ->
+  trials:int ->
+  cost_per_hour:float ->
+  unit ->
   estimate list
 
 (** Concrete demonstration on the real chain machinery: a private branch

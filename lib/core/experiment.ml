@@ -4,7 +4,6 @@
    DESIGN.md (E1..E9, A1). *)
 
 module Engine = Ac3_sim.Engine
-module Rng = Ac3_sim.Rng
 module Trace = Ac3_sim.Trace
 module Keys = Ac3_crypto.Keys
 module Ac2t = Ac3_contract.Ac2t
@@ -161,10 +160,9 @@ let depth_table () =
     (fun va -> { va; required_d = Analysis.required_depth ~va ~dh:6.0 ~ch:300_000.0 })
     [ 10_000.0; 100_000.0; 1_000_000.0; 5_000_000.0; 10_000_000.0 ]
 
-let attack_table ?(seed = 500) ?(trials = 300) () =
-  let rng = Rng.create seed in
-  Attack.depth_sweep rng ~q:0.3 ~depths:[ 0; 1; 2; 4; 6; 10 ] ~block_interval:600.0 ~trials
-    ~cost_per_hour:300_000.0
+let attack_table ?(jobs = 1) ?(seed = 500) ?(trials = 300) () =
+  Attack.depth_sweep_par ~jobs ~seed ~q:0.3 ~depths:[ 0; 1; 2; 4; 6; 10 ] ~block_interval:600.0
+    ~trials ~cost_per_hour:300_000.0 ()
 
 (* --- E6 / Table 1 + Sec 6.4: throughput ----------------------------------------- *)
 
@@ -468,18 +466,26 @@ let fork_trial ~seed ~d ~window =
           Network.heal witness.Universe.network;
           conflict)
 
-let fork_table ?(seed = 900) ?(trials = 8) ?(window = 60.0) ?(depths = [ 0; 1; 2; 4; 8 ]) () =
+(* Every (depth, trial) pair builds its own universe from its own seed
+   (identities are namespaced by that seed), so the flattened trial
+   list fans out over an ac3_par pool; counts are folded afterwards in
+   depth order and are identical for every [jobs]. *)
+let fork_table ?(jobs = 1) ?(seed = 900) ?(trials = 8) ?(window = 60.0)
+    ?(depths = [ 0; 1; 2; 4; 8 ]) () =
+  let cases = List.concat_map (fun d -> List.init trials (fun k -> (d, k))) depths in
+  let outcomes =
+    Ac3_par.Pool.map ~jobs
+      (fun (d, k) -> (d, fork_trial ~seed:(seed + (100 * d) + k) ~d ~window))
+      cases
+  in
   List.map
     (fun d ->
-      let hits = ref 0 in
-      for k = 0 to trials - 1 do
-        if fork_trial ~seed:(seed + (100 * d) + k) ~d ~window then incr hits
-      done;
+      let hits = List.length (List.filter (fun (d', hit) -> d' = d && hit) outcomes) in
       {
         d;
         trials;
-        conflicting_decisions_buried = !hits;
-        rate = float_of_int !hits /. float_of_int trials;
+        conflicting_decisions_buried = hits;
+        rate = float_of_int hits /. float_of_int trials;
       })
     depths
 

@@ -57,7 +57,10 @@ type depth_row = { va : float; required_d : int }
 
 val depth_table : unit -> depth_row list
 
-val attack_table : ?seed:int -> ?trials:int -> unit -> Attack.estimate list
+(** [jobs] fans the Monte-Carlo depths out over an [Ac3_par.Pool];
+    per-depth streams are Splitmix-derived, so results are identical
+    for every value (default 1). *)
+val attack_table : ?jobs:int -> ?seed:int -> ?trials:int -> unit -> Attack.estimate list
 
 (** {2 E6 — Table 1 / Sec 6.4: throughput} *)
 
@@ -109,8 +112,17 @@ type fork_row = {
     buried at depth >= d within [window] seconds. *)
 val fork_trial : seed:int -> d:int -> window:float -> bool
 
+(** [jobs] fans the (depth, trial) grid out over an [Ac3_par.Pool];
+    every trial is seeded independently, so counts are identical for
+    every value (default 1). *)
 val fork_table :
-  ?seed:int -> ?trials:int -> ?window:float -> ?depths:int list -> unit -> fork_row list
+  ?jobs:int ->
+  ?seed:int ->
+  ?trials:int ->
+  ?window:float ->
+  ?depths:int list ->
+  unit ->
+  fork_row list
 
 (** {2 A1 — Sec 4.3 ablation: evidence-validation strategies} *)
 

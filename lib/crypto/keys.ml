@@ -19,19 +19,29 @@ let address_len = 20
 (* Address = truncated hash of the public key, like Bitcoin's HASH160. *)
 let address_of_public pk = String.sub (Sha256.digest_list [ "addr"; pk ]) 0 address_len
 
+(* The memo table is shared process state: parallel sweeps (ac3_par
+   domains) create identities concurrently, so every access holds the
+   mutex — an unguarded Hashtbl corrupts its buckets under domains.
+   Generation happens inside the lock on purpose: two domains racing on
+   the same cold label must agree on ONE secret (secrets carry a
+   mutable signature counter), not insert two equal-valued copies and
+   hand out different ones. Contention only exists on cold labels. *)
 let cache : (string * int, Mss.secret) Hashtbl.t = Hashtbl.create 64
+
+let cache_mutex = Mutex.create ()
 
 let default_height = 6 (* 64 signatures per identity *)
 
 let create ?(height = default_height) label =
   let key = (label, height) in
   let secret =
-    match Hashtbl.find_opt cache key with
-    | Some s -> s
-    | None ->
-        let s = Mss.generate ~height ~seed:(Sha256.digest ("identity:" ^ label)) () in
-        Hashtbl.add cache key s;
-        s
+    Mutex.protect cache_mutex (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some s -> s
+        | None ->
+            let s = Mss.generate ~height ~seed:(Sha256.digest ("identity:" ^ label)) () in
+            Hashtbl.add cache key s;
+            s)
   in
   { label; secret; public = Mss.public secret }
 

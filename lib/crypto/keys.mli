@@ -13,7 +13,11 @@ type t
 val address_len : int
 
 (** [create ?height label] is the identity for [label]. Repeated calls
-    with the same label share the (stateful) signing key. *)
+    with the same label share the (stateful) signing key. The memo
+    table is mutex-protected, so concurrent domains may create
+    identities freely; note that {!sign} on one shared identity is
+    still a single-domain affair (the signature counter is not
+    atomic) — parallel runs use {!fresh} or per-task labels. *)
 val create : ?height:int -> string -> t
 
 (** Like {!create} but never memoized: a full, unconsumed signature

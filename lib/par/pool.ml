@@ -1,0 +1,98 @@
+(* Work-stealing domain pool with deterministic, order-preserving
+   collection.
+
+   Scheduling is self-balancing: one atomic counter holds the next
+   unclaimed task index and every worker — the spawned domains plus the
+   calling domain — loops stealing from it. Which domain runs which
+   task is timing-dependent, but nothing observable is: results land in
+   a slot array by task index, exceptions are re-raised lowest-index
+   first, and tasks are required to derive any randomness from
+   [split_seed] of their own index. Hence [run ~jobs] is bit-identical
+   to [run ~jobs:1] for every jobs value. *)
+
+exception Nested
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* SplitMix64: jump the state directly to [index] gammas past [root]
+   and apply the output mix (Steele, Lea & Flood, OOPSLA 2014) — the
+   same generator as Ac3_sim.Rng, restated here so the pool stays
+   dependency-free. The result is masked with [max_int] — [Int64.to_int]
+   keeps the low 63 bits, so merely shifting would still let the native
+   sign bit through — to keep the seed a non-negative OCaml int. *)
+let split_seed ~root ~index =
+  if index < 0 then invalid_arg "Pool.split_seed: negative index";
+  let open Int64 in
+  let z = add (of_int root) (mul 0x9E3779B97F4A7C15L (of_int (index + 1))) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (logxor z (shift_right_logical z 31)) land Stdlib.max_int
+
+(* Set while a domain is executing pool tasks; a nested [run] would
+   park a worker on a pool that can never drain below it. *)
+let in_pool = Domain.DLS.new_key (fun () -> false)
+
+type 'a slot = Pending | Done of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run ?jobs tasks =
+  if Domain.DLS.get in_pool then raise Nested;
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else begin
+    let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+    let slots = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set in_pool true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_pool false)
+        (fun () ->
+          let rec steal () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (slots.(i) <-
+                (match tasks.(i) () with
+                | v -> Done v
+                | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+              steal ()
+            end
+          in
+          steal ())
+    in
+    let spawned = List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (* All slots are filled once every worker has drained; joins give
+       the happens-before edge that makes the writes visible here. *)
+    Array.iter
+      (function Raised (e, bt) -> Printexc.raise_with_backtrace e bt | Pending | Done _ -> ())
+      slots;
+    Array.to_list
+      (Array.map (function Done v -> v | Pending | Raised _ -> assert false) slots)
+  end
+
+let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)
+
+let mapi ?jobs f xs = run ?jobs (List.mapi (fun i x () -> f i x) xs)
+
+(* Evaluate in index blocks of [jobs]: within a block every candidate
+   runs (bounded speculation), across blocks we stop at the first block
+   containing a [Some]. The winner is the lowest index overall, exactly
+   what the sequential scan would have returned. *)
+let first_success ?jobs thunks =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go = function
+    | [] -> None
+    | remaining -> (
+        let block, rest = take jobs [] remaining in
+        match List.find_opt Option.is_some (run ~jobs block) with
+        | Some result -> result
+        | None -> go rest)
+  in
+  go thunks

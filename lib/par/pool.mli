@@ -1,0 +1,56 @@
+(** Deterministic work-stealing domain pool.
+
+    [run tasks] executes the thunks on up to [jobs] OCaml 5 domains:
+    every idle worker (the calling domain included) repeatedly steals
+    the next unclaimed task off a shared counter, so the pool
+    self-balances regardless of task-length skew. Results are collected
+    by task index, so the returned list is in task order and identical
+    for every [jobs] value — including 1, which runs everything
+    sequentially in the calling domain with no domains spawned.
+
+    Determinism contract: the pool never hands a task any
+    scheduling-dependent state. A task that needs randomness must
+    derive its own stream from {!split_seed} of the root seed and its
+    task index, never from a generator shared across tasks — then
+    parallel output is bit-identical to sequential output.
+
+    Tasks must not share mutable state with each other unless that
+    state is domain-safe; the sweep drivers in this repo rebuild every
+    universe from the task's seed, so their tasks are isolated by
+    construction. *)
+
+(** Raised when [run] (or a wrapper) is called from inside a pool
+    task. Nested pools would deadlock the fixed worker budget, so the
+    attempt is rejected eagerly; restructure the work as one flat task
+    list instead. *)
+exception Nested
+
+(** Domains the hardware supports ([Domain.recommended_domain_count]),
+    at least 1. The default for every [?jobs] argument below and for
+    the CLI [--jobs] flag. *)
+val default_jobs : unit -> int
+
+(** [split_seed ~root ~index] is a SplitMix64-derived, non-negative
+    per-task seed: the [index]-th element of the stream anchored at
+    [root]. Distinct (root, index) pairs give independent seeds, and
+    the value depends only on the pair — never on which domain runs
+    the task or when. *)
+val split_seed : root:int -> index:int -> int
+
+(** [run ?jobs tasks] executes every thunk and returns the results in
+    task order. If any task raises, the remaining tasks still run and
+    the exception of the lowest-indexed failing task is re-raised (with
+    its backtrace) once all workers have drained. *)
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+
+(** [map ?jobs f xs] is [run ?jobs (List.map (fun x () -> f x) xs)]. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [mapi] is {!map} with the task index. *)
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+(** [first_success ?jobs thunks] is the first [Some] by task index, or
+    [None] — the parallel equivalent of [List.find_map (fun f -> f ())].
+    Candidates are evaluated speculatively in blocks of [jobs], so at
+    most [jobs - 1] thunks beyond the winning index are ever run. *)
+val first_success : ?jobs:int -> (unit -> 'a option) list -> 'a option

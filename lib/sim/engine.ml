@@ -32,7 +32,12 @@ let now t = t.now
 
 let executed_events t = t.executed
 
-let pending_events t = Heap.length t.queue
+(* Cancelled events stay queued until their timestamp (cancel only
+   flips a flag), but they are not pending work — don't count them. *)
+let pending_events t =
+  let live = ref 0 in
+  Heap.iter t.queue (fun ev -> if not ev.cancelled then incr live);
+  !live
 
 let schedule_at t ~time callback =
   if time < t.now then

@@ -17,7 +17,7 @@ val now : t -> float
 (** Total number of events executed so far. *)
 val executed_events : t -> int
 
-(** Number of events still queued (including cancelled ones). *)
+(** Number of events still queued and not cancelled. O(queue). *)
 val pending_events : t -> int
 
 (** [schedule_at t ~time f] runs [f] at absolute virtual [time].

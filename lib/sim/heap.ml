@@ -69,6 +69,12 @@ let pop h =
     Some top
   end
 
+(* Visit every element in unspecified (array) order, no mutation. *)
+let iter h f =
+  for i = 0 to h.size - 1 do
+    f h.data.(i)
+  done
+
 let to_list h =
   let rec drain acc = match pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
   drain []

@@ -19,5 +19,9 @@ val peek : 'a t -> 'a option
 (** Remove and return the smallest element. O(log n). *)
 val pop : 'a t -> 'a option
 
+(** [iter h f] applies [f] to every element in unspecified order,
+    without draining. O(n). *)
+val iter : 'a t -> ('a -> unit) -> unit
+
 (** Drain the heap in ascending order (destructive). *)
 val to_list : 'a t -> 'a list

@@ -91,6 +91,27 @@ let test_heap_random_qcheck =
       List.iter (Heap.push h) l;
       Heap.to_list h = List.sort compare l)
 
+(* iter visits every element exactly once (in arbitrary order) and,
+   unlike to_list, does not drain the heap. *)
+let test_heap_iter_nondestructive () =
+  let h = Heap.create compare in
+  let input = [ 5; 3; 9; 1; 7 ] in
+  List.iter (Heap.push h) input;
+  let seen = ref [] in
+  Heap.iter h (fun x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "visits all elements" (List.sort compare input)
+    (List.sort compare !seen);
+  Alcotest.(check int) "heap untouched" (List.length input) (Heap.length h);
+  Alcotest.(check (list int)) "still drains sorted" (List.sort compare input) (Heap.to_list h)
+
+let test_heap_iter_empty () =
+  let h = Heap.create compare in
+  Heap.iter h (fun (_ : int) -> Alcotest.fail "iter on empty heap called f");
+  (* a popped-to-empty heap must not revisit stale slots *)
+  Heap.push h 1;
+  ignore (Heap.pop h);
+  Heap.iter h (fun (_ : int) -> Alcotest.fail "iter after drain called f")
+
 (* --- Engine ----------------------------------------------------------- *)
 
 let test_engine_ordering () =
@@ -157,6 +178,81 @@ let test_engine_repeating () =
   stop ();
   ignore (Engine.run ~until:10.0 e);
   Alcotest.(check int) "fired until stopped" 5 !count
+
+(* Cancelled events stay queued until their timestamp but are not
+   pending work: pending_events must not count them, and running past
+   them must not execute them. *)
+let test_engine_pending_excludes_cancelled () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let h1 = Engine.schedule e ~delay:1.0 (fun () -> incr fired) in
+  let _h2 = Engine.schedule e ~delay:2.0 (fun () -> incr fired) in
+  let h3 = Engine.schedule e ~delay:3.0 (fun () -> incr fired) in
+  Alcotest.(check int) "three pending" 3 (Engine.pending_events e);
+  Engine.cancel h1;
+  Alcotest.(check int) "cancel drops one" 2 (Engine.pending_events e);
+  Engine.cancel h1;
+  Alcotest.(check int) "double cancel is idempotent" 2 (Engine.pending_events e);
+  Engine.cancel h3;
+  Alcotest.(check int) "one live event left" 1 (Engine.pending_events e);
+  Alcotest.(check int) "only the live event runs" 1 (Engine.run e);
+  Alcotest.(check int) "callback count agrees" 1 !fired;
+  Alcotest.(check int) "drained" 0 (Engine.pending_events e)
+
+(* FIFO order among equal timestamps must survive cancelling events
+   interleaved with the survivors. *)
+let test_engine_fifo_ties_with_cancellation () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let handles =
+    List.init 6 (fun i -> Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log))
+  in
+  List.iteri (fun i h -> if i mod 2 = 1 then Engine.cancel h) handles;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "even slots fire in scheduling order" [ 0; 2; 4 ]
+    (List.rev !log)
+
+(* The clock advances to the horizon when the queue drains early — even
+   when the queue was empty to begin with — so back-to-back run ~until
+   calls see monotone time. *)
+let test_engine_until_advances_drained_clock () =
+  let e = Engine.create () in
+  Alcotest.(check int) "nothing to run" 0 (Engine.run ~until:5.0 e);
+  Alcotest.(check (float 1e-9)) "clock at horizon" 5.0 (Engine.now e);
+  (* schedule_at a pre-horizon time is now in the past *)
+  (match Engine.schedule_at e ~time:4.0 (fun () -> ()) with
+  | _ -> Alcotest.fail "pre-horizon schedule_at should be rejected"
+  | exception Invalid_argument _ -> ());
+  ignore (Engine.run ~until:3.0 e);
+  Alcotest.(check (float 1e-9)) "clock never rewinds" 5.0 (Engine.now e)
+
+(* A stop condition ends the run without advancing to the horizon: the
+   simulation may resume from where it actually stopped. *)
+let test_engine_stop_keeps_clock () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> incr fired));
+  let executed = Engine.run ~until:10.0 ~stop:(fun () -> !fired >= 1) e in
+  Alcotest.(check int) "stopped after one event" 1 executed;
+  Alcotest.(check (float 1e-9)) "clock stays at the stop point" 1.0 (Engine.now e);
+  Alcotest.(check int) "second event still pending" 1 (Engine.pending_events e);
+  ignore (Engine.run e);
+  Alcotest.(check int) "resumes to completion" 2 !fired
+
+let test_engine_schedule_boundaries () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  ignore (Engine.run e);
+  (match Engine.schedule e ~delay:(-0.5) (fun () -> ()) with
+  | _ -> Alcotest.fail "negative delay should be rejected"
+  | exception Invalid_argument _ -> ());
+  (* exactly-now is allowed: the event fires at the current instant *)
+  let fired = ref false in
+  ignore (Engine.schedule_at e ~time:(Engine.now e) (fun () -> fired := true));
+  ignore (Engine.run e);
+  Alcotest.(check bool) "time = now fires" true !fired;
+  Alcotest.(check (float 1e-9)) "clock unchanged" 1.0 (Engine.now e)
 
 (* --- Trace ------------------------------------------------------------ *)
 
@@ -253,6 +349,8 @@ let () =
           Alcotest.test_case "sorts" `Quick test_heap_sorts;
           Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop;
           QCheck_alcotest.to_alcotest test_heap_random_qcheck;
+          Alcotest.test_case "iter is non-destructive" `Quick test_heap_iter_nondestructive;
+          Alcotest.test_case "iter skips empty and drained" `Quick test_heap_iter_empty;
         ] );
       ( "engine",
         [
@@ -263,6 +361,14 @@ let () =
           Alcotest.test_case "horizon" `Quick test_engine_horizon;
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "repeating" `Quick test_engine_repeating;
+          Alcotest.test_case "pending excludes cancelled" `Quick
+            test_engine_pending_excludes_cancelled;
+          Alcotest.test_case "FIFO ties with cancellation" `Quick
+            test_engine_fifo_ties_with_cancellation;
+          Alcotest.test_case "until advances drained clock" `Quick
+            test_engine_until_advances_drained_clock;
+          Alcotest.test_case "stop keeps clock" `Quick test_engine_stop_keeps_clock;
+          Alcotest.test_case "schedule boundaries" `Quick test_engine_schedule_boundaries;
         ] );
       ( "trace",
         [
