@@ -6,8 +6,9 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- quick   # skip the slowest sections
      dune exec bench/main.exe -- par     # only E13 (domain-pool scaling, 200 runs)
+     dune exec bench/main.exe -- obs     # only E14 (observability overhead, 100 runs)
 
-   Experiment ids (E1..E13, A1, A2) are indexed in DESIGN.md and results
+   Experiment ids (E1..E14, A1, A2) are indexed in DESIGN.md and results
    are recorded in EXPERIMENTS.md. *)
 
 module E = Ac3_core.Experiment
@@ -456,6 +457,53 @@ let par_scaling ~runs () =
   close_out oc;
   Fmt.pr "  results written to BENCH_par.json@."
 
+(* --- E14: observability overhead ------------------------------------------ *)
+
+(* Wall-clock of the same chaos sweep with instrumentation off vs on.
+   Instruments are one predicted branch plus a hashtable update on the
+   hot paths, so the overhead budget is 5%; results land in
+   BENCH_obs.json together with the instrument count, so regressions in
+   either cost or coverage are visible. *)
+let obs_overhead ~runs () =
+  section "E14 / ac3_obs — metrics + span instrumentation overhead";
+  Fmt.pr "%d-run sweep, instrument:false vs instrument:true (sequential).@.@." runs;
+  let time_sweep instrument =
+    let t0 = Unix.gettimeofday () in
+    let summary = Runner.sweep ~jobs:1 ~instrument ~seed:1 ~runs () in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (elapsed, summary)
+  in
+  let baseline_s, base_summary = time_sweep false in
+  let instrumented_s, inst_summary = time_sweep true in
+  let identical =
+    String.equal
+      (Fmt.str "%a" Runner.pp_summary base_summary)
+      (Fmt.str "%a" Runner.pp_summary inst_summary)
+  in
+  let overhead_pct =
+    if baseline_s > 0.0 then (instrumented_s -. baseline_s) /. baseline_s *. 100.0 else 0.0
+  in
+  let instruments = Ac3_obs.Metrics.size inst_summary.Runner.obs.Ac3_obs.Obs.metrics in
+  Fmt.pr "  instrument:false %7.2f s@." baseline_s;
+  Fmt.pr "  instrument:true  %7.2f s  (+%.1f%%, %d instruments)@." instrumented_s overhead_pct
+    instruments;
+  Fmt.pr "  summaries identical = %b@." identical;
+  let oc = open_out_bin "BENCH_obs.json" in
+  output_string oc
+    (Json.to_string_pretty
+       (Json.Obj
+          [
+            ("runs", Json.Int runs);
+            ("baseline_s", Json.Float baseline_s);
+            ("instrumented_s", Json.Float instrumented_s);
+            ("overhead_pct", Json.Float overhead_pct);
+            ("instruments", Json.Int instruments);
+            ("summaries_identical", Json.Bool identical);
+          ]));
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "  results written to BENCH_obs.json@."
+
 let run_bechamel () =
   section "Bechamel micro-benchmarks (one kernel per table/figure)";
   let open Bechamel in
@@ -477,11 +525,17 @@ let run_bechamel () =
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let par_only = Array.exists (fun a -> a = "par") Sys.argv in
+  let obs_only = Array.exists (fun a -> a = "obs") Sys.argv in
   Fmt.pr "AC3WN reproduction benchmark harness (seeded, deterministic).@.";
   Fmt.pr "Δ = %.0f virtual seconds (confirm depth %d x %.0f s blocks) in protocol runs.@."
     E.delta E.confirm_depth E.block_interval;
   if par_only then begin
     par_scaling ~runs:200 ();
+    Fmt.pr "@.Done.@.";
+    exit 0
+  end;
+  if obs_only then begin
+    obs_overhead ~runs:100 ();
     Fmt.pr "@.Done.@.";
     exit 0
   end;
@@ -499,5 +553,6 @@ let () =
   if not quick then depth_latency ();
   model_check ();
   if not quick then par_scaling ~runs:50 ();
+  if not quick then obs_overhead ~runs:50 ();
   run_bechamel ();
   Fmt.pr "@.Done.@."

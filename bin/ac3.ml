@@ -6,6 +6,7 @@
      ac3 analyze  — print the paper's analytical models (Sec 6)
      ac3 attack   — run 51% witness-attack races (Sec 6.3)
      ac3 chaos    — seeded fault-injection sweeps with the atomicity oracle
+     ac3 metrics  — run one instrumented swap and print the metrics snapshot
 
    Examples:
      dune exec bin/ac3.exe -- swap --protocol ac3wn --scenario ring --parties 4
@@ -18,8 +19,10 @@
      dune exec bin/ac3.exe -- analyze
      dune exec bin/ac3.exe -- attack -q 0.35 --trials 500
      dune exec bin/ac3.exe -- chaos --seed 7 --runs 50
+     dune exec bin/ac3.exe -- chaos --seed 7 --runs 50 --metrics-out metrics.json
      dune exec bin/ac3.exe -- chaos --seed 7 --shrink
-     dune exec bin/ac3.exe -- chaos --replay test/chaos_corpus/some_plan.json *)
+     dune exec bin/ac3.exe -- chaos --replay test/chaos_corpus/some_plan.json
+     dune exec bin/ac3.exe -- metrics --protocol ac3wn *)
 
 open Cmdliner
 module U = Ac3_core.Universe
@@ -33,6 +36,9 @@ module Analysis = Ac3_core.Analysis
 module Attack = Ac3_core.Attack
 module Ac2t = Ac3_contract.Ac2t
 module Pool = Ac3_par.Pool
+module Obs = Ac3_obs.Obs
+module Metrics = Ac3_obs.Metrics
+module Span = Ac3_obs.Span
 
 (* Shared by the sweep-shaped subcommands (chaos, check, attack):
    worker-domain count, defaulting to what the hardware offers. Output
@@ -49,6 +55,64 @@ let jobs_arg =
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+(* --- observability export ---------------------------------------------- *)
+
+(* --metrics-out / --trace-out, shared by the subcommands that run the
+   simulator. Exports go to files, never to stdout, so enabling them
+   cannot change a command's printed output — the byte-identity the CI
+   asserts. *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics registry as deterministic JSON: instruments in sorted \
+           (name, labels) order, sim-time values only — byte-identical across hosts and \
+           $(b,--jobs) values.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the hierarchical span tree (phase spans on the virtual clock) as JSON.")
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+(* Pool totals count work *submitted* (jobs-independent by contract), so
+   they are safe next to the simulator's deterministic metrics. *)
+let record_pool_stats metrics =
+  let batches, tasks = Pool.stats () in
+  Metrics.add (Metrics.counter metrics "par.pool.batches") batches;
+  Metrics.add (Metrics.counter metrics "par.pool.tasks") tasks
+
+module Json = Ac3_crypto.Codec.Json
+
+let export_obs ?metrics_out ?trace_out (obs : Obs.t) =
+  Option.iter
+    (fun path ->
+      record_pool_stats obs.Obs.metrics;
+      write_file path (Json.to_string_pretty (Metrics.to_json obs.Obs.metrics)))
+    metrics_out;
+  Option.iter
+    (fun path -> write_file path (Json.to_string_pretty (Span.to_json obs.Obs.spans)))
+    trace_out
+
+(* Merge the observability contexts of a report list in list order —
+   the same discipline Runner.sweep uses internally. *)
+let merged_report_obs reports =
+  let obs = Obs.create ~clock:(fun () -> 0.0) () in
+  List.iter
+    (fun (r : Ac3_chaos.Runner.report) ->
+      Metrics.merge_into ~into:obs.Obs.metrics r.Ac3_chaos.Runner.obs.Obs.metrics;
+      Span.import ~into:obs.Obs.spans r.Ac3_chaos.Runner.obs.Obs.spans)
+    reports;
+  obs
 
 (* --- swap ------------------------------------------------------------------ *)
 
@@ -99,7 +163,7 @@ let report_outcome ~trace ~outcome ~atomic ~committed ~latency ~delta =
   | None -> Fmt.pr "did not complete within the timeout@.");
   if atomic then 0 else 2
 
-let run_swap protocol scenario parties seed crash verbose =
+let run_swap protocol scenario parties seed crash verbose metrics_out trace_out =
   setup_logs verbose;
   let u, participants, graph = scenario_setup ~scenario ~parties ~seed in
   Fmt.pr "Graph: %a@." Ac2t.pp graph;
@@ -112,44 +176,49 @@ let run_swap protocol scenario parties seed crash verbose =
     end
     else []
   in
-  match protocol with
-  | Ac3wn ->
-      let config =
-        { (A.default_config ~witness_chain:"witness") with A.decision_depth = 4; timeout = 50_000.0 }
-      in
-      let hooks = crash_bob_hook "authorize_redeem_submitted" in
-      (* With AC3WN a crashed participant can recover and still redeem. *)
-      (if crash then
-         ignore
-           (Ac3_sim.Engine.schedule (U.engine u) ~delay:2000.0 (fun () ->
-                P.recover (List.nth participants 1))));
-      let r = A.execute u ~config ~graph ~participants ~hooks () in
-      report_outcome ~trace:r.A.trace ~outcome:r.A.outcome ~atomic:r.A.atomic
-        ~committed:r.A.committed ~latency:r.A.latency ~delta
-  | Herlihy | Nolan -> (
-      let config = { (H.default_config ~delta) with H.timeout = 100_000.0 } in
-      let hooks = crash_bob_hook "redeem:1" in
-      let result =
-        if protocol = Nolan then Ok (N.execute u ~config ~graph ~participants ~hooks ())
-        else H.execute u ~config ~graph ~participants ~hooks ()
-      in
-      match result with
-      | Error e ->
-          Fmt.epr "protocol refused the graph: %s@." e;
-          1
-      | Ok r ->
-          report_outcome ~trace:r.H.trace ~outcome:r.H.outcome ~atomic:r.H.atomic
-            ~committed:r.H.committed ~latency:r.H.latency ~delta)
-  | Ac3tw -> (
-      let trent = Ac3_core.Trent.create u ~name:"trent" in
-      let config = { T.default_config with T.timeout = 50_000.0 } in
-      match T.execute u ~config ~trent ~graph ~participants () with
-      | Error e ->
-          Fmt.epr "error: %s@." e;
-          1
-      | Ok r ->
-          report_outcome ~trace:r.T.trace ~outcome:r.T.outcome ~atomic:r.T.atomic
-            ~committed:r.T.committed ~latency:r.T.latency ~delta)
+  let code =
+    match protocol with
+    | Ac3wn ->
+        let config =
+          { (A.default_config ~witness_chain:"witness") with A.decision_depth = 4; timeout = 50_000.0 }
+        in
+        let hooks = crash_bob_hook "authorize_redeem_submitted" in
+        (* With AC3WN a crashed participant can recover and still redeem. *)
+        (if crash then
+           ignore
+             (Ac3_sim.Engine.schedule (U.engine u) ~delay:2000.0 (fun () ->
+                  P.recover (List.nth participants 1))));
+        let r = A.execute u ~config ~graph ~participants ~hooks () in
+        report_outcome ~trace:r.A.trace ~outcome:r.A.outcome ~atomic:r.A.atomic
+          ~committed:r.A.committed ~latency:r.A.latency ~delta
+    | Herlihy | Nolan -> (
+        let config = { (H.default_config ~delta) with H.timeout = 100_000.0 } in
+        let hooks = crash_bob_hook "redeem:1" in
+        let result =
+          if protocol = Nolan then Ok (N.execute u ~config ~graph ~participants ~hooks ())
+          else H.execute u ~config ~graph ~participants ~hooks ()
+        in
+        match result with
+        | Error e ->
+            Fmt.epr "protocol refused the graph: %s@." e;
+            1
+        | Ok r ->
+            report_outcome ~trace:r.H.trace ~outcome:r.H.outcome ~atomic:r.H.atomic
+              ~committed:r.H.committed ~latency:r.H.latency ~delta)
+    | Ac3tw -> (
+        let trent = Ac3_core.Trent.create u ~name:"trent" in
+        let config = { T.default_config with T.timeout = 50_000.0 } in
+        match T.execute u ~config ~trent ~graph ~participants () with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            1
+        | Ok r ->
+            report_outcome ~trace:r.T.trace ~outcome:r.T.outcome ~atomic:r.T.atomic
+              ~committed:r.T.committed ~latency:r.T.latency ~delta)
+  in
+  U.snapshot_metrics u;
+  export_obs ?metrics_out ?trace_out (U.obs u);
+  code
 
 let protocol_conv =
   Arg.enum [ ("ac3wn", Ac3wn); ("herlihy", Herlihy); ("nolan", Nolan); ("ac3tw", Ac3tw) ]
@@ -179,7 +248,9 @@ let swap_cmd =
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logs.") in
   Cmd.v
     (Cmd.info "swap" ~doc:"Execute an atomic cross-chain transaction on the simulator")
-    Term.(const run_swap $ protocol $ scenario $ parties $ seed $ crash $ verbose)
+    Term.(
+      const run_swap $ protocol $ scenario $ parties $ seed $ crash $ verbose $ metrics_out_arg
+      $ trace_out_arg)
 
 (* --- verify ----------------------------------------------------------------- *)
 
@@ -220,8 +291,6 @@ let print_section ~quiet (name, diags) =
   in
   List.iter (fun d -> Fmt.pr "   %a@." Diagnostic.pp d) shown;
   errors <> []
-
-module Json = Ac3_crypto.Codec.Json
 
 let sections_to_json sections =
   let section_json (name, diags) =
@@ -365,16 +434,31 @@ let analyze_cmd =
 
 (* --- attack -------------------------------------------------------------------- *)
 
-let run_attack q trials seed jobs =
+let run_attack q trials seed jobs metrics_out trace_out =
   Fmt.pr "51%% rental attack on the witness network: q = %.2f, %d trials/depth@.@." q trials;
   Fmt.pr "  d | success rate | analytic | mean rental cost@.";
   Fmt.pr " ---+--------------+----------+-----------------@.";
+  let estimates =
+    Attack.depth_sweep_par ~jobs ~seed ~q ~depths:[ 0; 1; 2; 4; 6; 10; 20 ] ~block_interval:600.0
+      ~trials ~cost_per_hour:300_000.0 ()
+  in
   List.iter
     (fun (r : Attack.estimate) ->
       Fmt.pr " %2d | %12.3f | %8.3f | $%.0f@." r.Attack.d r.Attack.success_rate r.Attack.analytic
         r.Attack.mean_cost_usd)
-    (Attack.depth_sweep_par ~jobs ~seed ~q ~depths:[ 0; 1; 2; 4; 6; 10; 20 ] ~block_interval:600.0
-       ~trials ~cost_per_hour:300_000.0 ());
+    estimates;
+  (* The estimates are seed-deterministic, so they export as gauges. *)
+  let obs = Obs.create ~clock:(fun () -> 0.0) () in
+  List.iter
+    (fun (r : Attack.estimate) ->
+      let labels = [ ("d", string_of_int r.Attack.d) ] in
+      let g name = Metrics.gauge obs.Obs.metrics ~labels name in
+      Metrics.set (g "attack.success_rate") r.Attack.success_rate;
+      Metrics.set (g "attack.analytic") r.Attack.analytic;
+      Metrics.set (g "attack.mean_cost_usd") r.Attack.mean_cost_usd;
+      Metrics.add (Metrics.counter obs.Obs.metrics ~labels "attack.trials") trials)
+    estimates;
+  export_obs ?metrics_out ?trace_out obs;
   Fmt.pr "@.Paper's rule of thumb: protecting Va requires d > Va*dh/Ch;@.";
   Fmt.pr "e.g. Va = $1M on a Bitcoin-like witness => d > %d.@."
     (Analysis.paper_example_depth ());
@@ -386,7 +470,7 @@ let attack_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
   Cmd.v
     (Cmd.info "attack" ~doc:"Simulate 51% attacks on the witness network (Sec 6.3)")
-    Term.(const run_attack $ q $ trials $ seed $ jobs_arg)
+    Term.(const run_attack $ q $ trials $ seed $ jobs_arg $ metrics_out_arg $ trace_out_arg)
 
 (* --- chaos -------------------------------------------------------------------- *)
 
@@ -422,11 +506,13 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let chaos_replay ~jobs path =
+let chaos_replay ~jobs ~metrics_out ~trace_out path =
   let repro = Repro.of_string (read_file path) in
   Fmt.pr "replaying %s (%a; %a)@." path Plan.pp_spec repro.Repro.spec Plan.pp repro.Repro.plan;
   let results = Repro.replay ~jobs repro in
   List.iter (fun r -> Fmt.pr "%a@." Repro.pp_replay_result r) results;
+  export_obs ?metrics_out ?trace_out
+    (merged_report_obs (List.map (fun r -> r.Repro.report) results));
   if Repro.replay_ok results then begin
     Fmt.pr "replay: all %d expectation(s) matched@." (List.length results);
     0
@@ -436,7 +522,7 @@ let chaos_replay ~jobs path =
     2
   end
 
-let chaos_shrink ~seed ~protocol ~jobs ~out =
+let chaos_shrink ~seed ~protocol ~jobs ~out ~metrics_out ~trace_out =
   let spec, plan = Plan.sample ~seed in
   Fmt.pr "seed %d: %a@.plan:@.%a@." seed Plan.pp_spec spec Plan.pp plan;
   let protocols = match protocol with Some p -> [ p ] | None -> Runner.all_protocols in
@@ -444,16 +530,21 @@ let chaos_shrink ~seed ~protocol ~jobs ~out =
   List.iter report_line reports;
   match List.find_opt Runner.failed reports with
   | None ->
+      export_obs ?metrics_out ?trace_out (merged_report_obs reports);
       Fmt.pr "no oracle violation at seed %d; nothing to shrink@." seed;
       0
   | Some failing ->
       let target = failing.Runner.protocol in
       Fmt.pr "shrinking the %s violation...@." (Runner.protocol_name target);
       let log line = Fmt.epr "%s@." line in
-      let shrunk = Shrink.shrink ~log ~jobs ~spec ~protocol:target plan in
+      let shrink_metrics = Metrics.create () in
+      let shrunk = Shrink.shrink ~log ~jobs ~metrics:shrink_metrics ~spec ~protocol:target plan in
       Fmt.pr "shrunk plan (%d -> %d faults):@.%a@." (List.length plan) (List.length shrunk)
         Plan.pp shrunk;
       let shrunk_reports = Runner.run_all ~jobs ~spec ~plan:shrunk () in
+      let obs = merged_report_obs (reports @ shrunk_reports) in
+      Metrics.merge_into ~into:obs.Obs.metrics shrink_metrics;
+      export_obs ?metrics_out ?trace_out obs;
       let note =
         Printf.sprintf "shrunk from seed %d; violating protocol: %s" seed
           (Runner.protocol_name target)
@@ -484,15 +575,16 @@ let chaos_shrink ~seed ~protocol ~jobs ~out =
       | None -> ());
       0
 
-let run_chaos seed runs protocol replay shrink out jobs verbose =
+let run_chaos seed runs protocol replay shrink out jobs verbose metrics_out trace_out =
   match replay with
-  | Some path -> chaos_replay ~jobs path
+  | Some path -> chaos_replay ~jobs ~metrics_out ~trace_out path
   | None ->
-      if shrink then chaos_shrink ~seed ~protocol ~jobs ~out
+      if shrink then chaos_shrink ~seed ~protocol ~jobs ~out ~metrics_out ~trace_out
       else begin
         let protocols = match protocol with Some p -> [ p ] | None -> Runner.all_protocols in
         let on_report = if verbose then Some report_line else None in
         let summary = Runner.sweep ~protocols ?on_report ~jobs ~seed ~runs () in
+        export_obs ?metrics_out ?trace_out summary.Runner.obs;
         Fmt.pr "%a@." Runner.pp_summary summary;
         if summary.Runner.unexplained_failures > 0 then 3 else 0
       end
@@ -527,7 +619,9 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Deterministic fault-injection sweeps: seeded plans, atomicity oracle, shrinking")
-    Term.(const run_chaos $ seed $ runs $ protocol $ replay $ shrink $ out $ jobs_arg $ verbose)
+    Term.(
+      const run_chaos $ seed $ runs $ protocol $ replay $ shrink $ out $ jobs_arg $ verbose
+      $ metrics_out_arg $ trace_out_arg)
 
 (* --- check -------------------------------------------------------------------- *)
 
@@ -594,7 +688,8 @@ let check_stats_json (s : MC.stats) =
       ("truncated", Json.Bool s.MC.truncated);
     ]
 
-let run_check protocol scenario parties delta slack crashes max_nodes json export seed jobs quiet =
+let run_check protocol scenario parties delta slack crashes max_nodes json export seed jobs quiet
+    metrics_out trace_out =
   let config =
     { MC.delta; timelock_slack = slack; start_time = 0.0; max_nodes; crash_budget = crashes }
   in
@@ -624,6 +719,25 @@ let run_check protocol scenario parties delta slack crashes max_nodes json expor
   Option.iter (fun path -> export_counterexample ~path results) export;
   let section_name p s = Printf.sprintf "%s model (%s)" (MC.protocol_name p) (scenario_name s) in
   let ok = List.for_all (fun (_, _, _, r) -> MC.ok r) results in
+  (* The model checker runs outside the simulator, so there is no
+     virtual clock: spans are flat section markers at t = 0 and the
+     exploration statistics export as labelled counters. *)
+  let obs = Obs.create ~clock:(fun () -> 0.0) () in
+  List.iter
+    (fun (p, s, _, r) ->
+      let labels =
+        [ ("protocol", MC.protocol_name p); ("scenario", scenario_name s) ]
+      in
+      let c name = Metrics.counter obs.Obs.metrics ~labels name in
+      Metrics.add (c "model.nodes") r.MC.stats.MC.nodes;
+      Metrics.add (c "model.transitions") r.MC.stats.MC.transitions;
+      Metrics.add (c "model.por_skipped") r.MC.stats.MC.por_skipped;
+      Metrics.add (c "model.peak_frontier") r.MC.stats.MC.peak_frontier;
+      if r.MC.stats.MC.truncated then Metrics.incr (c "model.truncated");
+      Metrics.add (c "model.violations") (List.length r.MC.violations);
+      ignore (Span.add obs.Obs.spans ~attrs:labels ~name:(section_name p s) ~start:0.0 ~stop:0.0 ()))
+    results;
+  export_obs ?metrics_out ?trace_out obs;
   if json then begin
     let sections =
       List.map
@@ -712,11 +826,70 @@ let check_cmd =
           expiries and crash faults, and emit replayable counterexamples")
     Term.(
       const run_check $ protocol $ scenario $ parties $ delta $ slack $ crashes $ max_nodes $ json
-      $ export $ seed $ jobs_arg $ quiet)
+      $ export $ seed $ jobs_arg $ quiet $ metrics_out_arg $ trace_out_arg)
+
+(* --- metrics ---------------------------------------------------------------- *)
+
+(* One fully instrumented swap, with the registry and span tree printed
+   instead of the usual trace dump — the quickest way to see what the
+   observability layer measures. *)
+let run_metrics protocol scenario parties seed metrics_out trace_out =
+  setup_logs false;
+  let u, participants, graph = scenario_setup ~scenario ~parties ~seed in
+  let delta = U.max_delta u in
+  let atomic =
+    match protocol with
+    | Ac3wn ->
+        let config =
+          { (A.default_config ~witness_chain:"witness") with A.decision_depth = 4; timeout = 50_000.0 }
+        in
+        let r = A.execute u ~config ~graph ~participants () in
+        r.A.atomic
+    | Herlihy | Nolan -> (
+        let config = { (H.default_config ~delta) with H.timeout = 100_000.0 } in
+        let result =
+          if protocol = Nolan then Ok (N.execute u ~config ~graph ~participants ())
+          else H.execute u ~config ~graph ~participants ()
+        in
+        match result with
+        | Error e ->
+            Fmt.epr "protocol refused the graph: %s@." e;
+            false
+        | Ok r -> r.H.atomic)
+    | Ac3tw -> (
+        let trent = Ac3_core.Trent.create u ~name:"trent" in
+        let config = { T.default_config with T.timeout = 50_000.0 } in
+        match T.execute u ~config ~trent ~graph ~participants () with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            false
+        | Ok r -> r.T.atomic)
+  in
+  U.snapshot_metrics u;
+  Fmt.pr "Metrics snapshot (%d instruments):@.%a@." (Metrics.size (U.metrics u)) Metrics.pp
+    (U.metrics u);
+  Fmt.pr "@.Span tree:@.%a@." Span.pp (U.spans u);
+  export_obs ?metrics_out ?trace_out (U.obs u);
+  if atomic then 0 else 2
+
+let metrics_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv Ac3wn & info [ "protocol"; "p" ] ~doc:"Protocol: ac3wn, herlihy, nolan, ac3tw.")
+  in
+  let scenario =
+    Arg.(value & opt scenario_conv Two_party & info [ "scenario"; "s" ] ~doc:"Scenario graph.")
+  in
+  let parties = Arg.(value & opt int 3 & info [ "parties"; "n" ] ~doc:"Ring size (ring scenario).") in
+  let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run one instrumented swap and print the metrics registry and span tree")
+    Term.(
+      const run_metrics $ protocol $ scenario $ parties $ seed $ metrics_out_arg $ trace_out_arg)
 
 let () =
   let doc = "Atomic commitment across blockchains (AC3WN reproduction)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ac3" ~doc)
-          [ swap_cmd; verify_cmd; check_cmd; analyze_cmd; attack_cmd; chaos_cmd ]))
+          [ swap_cmd; verify_cmd; check_cmd; analyze_cmd; attack_cmd; chaos_cmd; metrics_cmd ]))

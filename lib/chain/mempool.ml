@@ -44,17 +44,19 @@ let remove t txid =
   sweep t
 
 (* Oldest-first candidates for the next block. The caller filters out
-   transactions that no longer apply. *)
+   transactions that no longer apply. [entries] is newest-first with
+   monotonically increasing [seq], so a reverse IS the seq-sort — no
+   O(n log n) comparison sort on the per-block hot path. *)
 let candidates t ~limit =
   let live = List.filter (fun e -> Hashtbl.mem t.index e.txid) t.entries in
   t.entries <- live;
   t.entries_len <- List.length live;
-  let sorted = List.sort (fun a b -> Int.compare a.seq b.seq) live in
+  let oldest_first = List.rev live in
   let rec take n = function
     | [] -> []
     | e :: rest -> if n = 0 then [] else e.tx :: take (n - 1) rest
   in
-  take limit sorted
+  take limit oldest_first
 
 let to_list t =
   List.filter_map (fun e -> if Hashtbl.mem t.index e.txid then Some e.tx else None) t.entries

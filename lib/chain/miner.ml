@@ -10,6 +10,7 @@
 
 module Engine = Ac3_sim.Engine
 module Rng = Ac3_sim.Rng
+module Metrics = Ac3_obs.Metrics
 
 type t = {
   node : Node.t;
@@ -19,11 +20,26 @@ type t = {
   share : float; (* fraction of the chain's total hash power *)
   mutable running : bool;
   mutable blocks_mined : int;
+  mined_meter : Metrics.counter;
+  mempool_depth : Metrics.histogram;
 }
 
-let create ~engine ~rng ~node ~address ~share =
+let create ~engine ~rng ~node ~address ~share ?metrics () =
   if share <= 0.0 || share > 1.0 then invalid_arg "Miner.create: share must be in (0, 1]";
-  { node; engine; rng; address; share; running = false; blocks_mined = 0 }
+  let metrics = match metrics with Some m -> m | None -> Metrics.create ~enabled:false () in
+  let labels = [ ("chain", (Node.params node).Params.chain_id) ] in
+  {
+    node;
+    engine;
+    rng;
+    address;
+    share;
+    running = false;
+    blocks_mined = 0;
+    mined_meter = Metrics.counter metrics ~labels "chain.block.mined";
+    mempool_depth =
+      Metrics.histogram metrics ~labels ~lo:0.0 ~hi:200.0 ~buckets:20 "chain.mempool.depth";
+  }
 
 let blocks_mined t = t.blocks_mined
 
@@ -35,6 +51,7 @@ let assemble t =
   let parent = Store.tip store in
   let height = parent.Block.header.Block.height + 1 in
   let time = Engine.now t.engine in
+  Metrics.observe t.mempool_depth (float_of_int (Mempool.size (Node.mempool t.node)));
   let candidates = Mempool.candidates (Node.mempool t.node) ~limit:params.Params.block_capacity in
   let txs = Ledger.select_valid ledger ~block_height:height ~block_time:time candidates in
   let fees = Amount.sum (List.map (fun (tx : Tx.t) -> tx.Tx.fee) txs) in
@@ -50,6 +67,7 @@ let mine_one t =
   if not (Node.is_crashed t.node) then begin
     let block = assemble t in
     t.blocks_mined <- t.blocks_mined + 1;
+    Metrics.incr t.mined_meter;
     ignore (Node.submit_block t.node block)
   end
 

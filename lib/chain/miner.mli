@@ -4,13 +4,17 @@
 type t
 
 (** [share] is this miner's fraction of the chain's hash power; its blocks
-    arrive with mean inter-arrival [block_interval / share]. *)
+    arrive with mean inter-arrival [block_interval / share]. With
+    [?metrics], the miner counts mined blocks and samples the mempool
+    depth at every block assembly, labelled [{chain=<chain_id>}]. *)
 val create :
   engine:Ac3_sim.Engine.t ->
   rng:Ac3_sim.Rng.t ->
   node:Node.t ->
   address:string ->
   share:float ->
+  ?metrics:Ac3_obs.Metrics.t ->
+  unit ->
   t
 
 val blocks_mined : t -> int

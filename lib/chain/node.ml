@@ -6,10 +6,44 @@
 
 module Engine = Ac3_sim.Engine
 module Hex = Ac3_crypto.Hex
+module Metrics = Ac3_obs.Metrics
 
 let src = Logs.Src.create "ac3.node" ~doc:"blockchain node"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Per-chain instruments; nodes of one chain share them (the registry
+   dedupes by (name, labels)), so counts aggregate over the chain's
+   nodes. *)
+type meters = {
+  blocks_accepted : Metrics.counter;
+  blocks_orphaned : Metrics.counter;
+  blocks_rejected : Metrics.counter;
+  txs_accepted : Metrics.counter;
+  txs_rejected : Metrics.counter;
+  reorgs : Metrics.counter;
+  reorg_depth : Metrics.histogram;
+  propagation : Metrics.histogram;
+  evicted_mined : Metrics.counter;
+  resurrected : Metrics.counter;
+}
+
+let meters_of metrics ~chain =
+  let labels = [ ("chain", chain) ] in
+  let c name = Metrics.counter metrics ~labels name in
+  let h ~hi ~buckets name = Metrics.histogram metrics ~labels ~lo:0.0 ~hi ~buckets name in
+  {
+    blocks_accepted = c "chain.block.accepted";
+    blocks_orphaned = c "chain.block.orphaned";
+    blocks_rejected = c "chain.block.rejected";
+    txs_accepted = c "chain.tx.accepted";
+    txs_rejected = c "chain.tx.rejected";
+    reorgs = c "chain.reorgs";
+    reorg_depth = h ~hi:20.0 ~buckets:20 "chain.reorg.depth";
+    propagation = h ~hi:30.0 ~buckets:30 "chain.block.propagation_delay";
+    evicted_mined = c "chain.mempool.evicted_mined";
+    resurrected = c "chain.mempool.resurrected";
+  }
 
 type t = {
   id : string;
@@ -17,26 +51,41 @@ type t = {
   network : Network.t;
   store : Store.t;
   mempool : Mempool.t;
+  meters : meters;
   mutable crashed : bool;
   (* Everything seen (even invalid), to stop relay loops. *)
   seen : (string, unit) Hashtbl.t;
 }
 
-let rec create ~engine ~network ~params ~registry id =
+let rec create ~engine ~network ~params ~registry ?metrics id =
   let store = Store.create ~params ~registry in
   let mempool = Mempool.create () in
-  let t = { id; engine; network; store; mempool; crashed = false; seen = Hashtbl.create 256 } in
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ~enabled:false ()
+  in
+  let meters = meters_of metrics ~chain:params.Params.chain_id in
+  let t =
+    { id; engine; network; store; mempool; meters; crashed = false; seen = Hashtbl.create 256 }
+  in
   (* Keep the mempool consistent across reorgs: drop what got mined,
      resurrect what fell out. *)
   Store.set_on_reorg store (fun ~connected ~disconnected ->
       List.iter
         (fun (b : Block.t) ->
-          List.iter (fun tx -> Mempool.remove mempool (Tx.txid tx)) b.Block.txs)
+          List.iter
+            (fun tx ->
+              if Mempool.mem mempool (Tx.txid tx) then Metrics.incr meters.evicted_mined;
+              Mempool.remove mempool (Tx.txid tx))
+            b.Block.txs)
         connected;
       List.iter
         (fun (b : Block.t) ->
           List.iter
-            (fun tx -> if not (Tx.is_coinbase tx) then ignore (Mempool.add mempool tx))
+            (fun tx ->
+              if not (Tx.is_coinbase tx) then
+                match Mempool.add mempool tx with
+                | Ok () -> Metrics.incr meters.resurrected
+                | Error _ -> ())
             b.Block.txs)
         disconnected);
   Network.register network ~id (fun msg ->
@@ -56,10 +105,18 @@ and handle_block t block =
   else begin
     Hashtbl.replace t.seen hash ();
     match Store.add_block t.store block with
-    | Store.Added _ ->
+    | Store.Added { disconnected; _ } ->
+        Metrics.incr t.meters.blocks_accepted;
+        Metrics.observe t.meters.propagation
+          (Engine.now t.engine -. block.Block.header.Block.time);
+        if disconnected <> [] then begin
+          Metrics.incr t.meters.reorgs;
+          Metrics.observe t.meters.reorg_depth (float_of_int (List.length disconnected))
+        end;
         Network.broadcast t.network ~from:t.id (Network.Block_msg block);
         `Accepted
     | Store.Orphaned ->
+        Metrics.incr t.meters.blocks_orphaned;
         (* Relay, and ask peers for the missing ancestor so a node that was
            crashed or partitioned can catch up. *)
         Network.broadcast t.network ~from:t.id (Network.Block_msg block);
@@ -68,6 +125,7 @@ and handle_block t block =
         `Accepted
     | Store.Duplicate -> `Known
     | Store.Invalid reason ->
+        Metrics.incr t.meters.blocks_rejected;
         Log.debug (fun m -> m "%s: rejected block %s: %s" t.id (Hex.short hash) reason);
         `Rejected reason
   end
@@ -79,10 +137,12 @@ and handle_tx t tx =
     Hashtbl.replace t.seen txid ();
     match Ledger.check_tx (Store.ledger t.store) ~block_time:(Engine.now t.engine) tx with
     | Ok () ->
+        Metrics.incr t.meters.txs_accepted;
         ignore (Mempool.add t.mempool tx);
         Network.broadcast t.network ~from:t.id (Network.Tx_msg tx);
         `Accepted
     | Error reason ->
+        Metrics.incr t.meters.txs_rejected;
         Log.debug (fun m -> m "%s: rejected tx %s: %s" t.id (Hex.short txid) reason);
         `Rejected reason
   end

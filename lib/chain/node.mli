@@ -3,12 +3,18 @@
 
 type t
 
-(** Create a node and register it on the network under [id]. *)
+(** Create a node and register it on the network under [id]. With
+    [?metrics], the node records per-chain counters and histograms
+    (block accept/orphan/reject, tx accept/reject, reorg count and
+    depth, block propagation delay, mempool evictions) labelled
+    [{chain=<chain_id>}]; nodes of the same chain share instruments, so
+    counts aggregate over the chain. *)
 val create :
   engine:Ac3_sim.Engine.t ->
   network:Network.t ->
   params:Params.t ->
   registry:Contract_iface.registry ->
+  ?metrics:Ac3_obs.Metrics.t ->
   string ->
   t
 

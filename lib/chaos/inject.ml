@@ -24,7 +24,17 @@ let with_chain u name k = match Universe.chain u name with
   | chain -> k chain
   | exception Invalid_argument _ -> ()
 
-let note u label attrs = Universe.record u ~attrs label
+(* Every fault firing leaves a trace record and bumps the per-kind hit
+   counter — the "chaos:" prefix is stripped to make the metric label. *)
+let note u label attrs =
+  Universe.record u ~attrs label;
+  let kind =
+    match String.index_opt label ':' with
+    | Some i -> String.sub label (i + 1) (String.length label - i - 1)
+    | None -> label
+  in
+  Ac3_obs.Metrics.incr
+    (Ac3_obs.Metrics.counter (Universe.metrics u) ~labels:[ ("kind", kind) ] "chaos.fault")
 
 let install ~universe:u ~participants (plan : Plan.t) =
   let parts = Array.of_list participants in

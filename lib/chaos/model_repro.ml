@@ -36,14 +36,14 @@ let crash_parties schedule =
 let fractions = [ 3.0; 2.5; 3.5; 2.0; 4.0; 5.0; 1.5 ]
 
 let violates ~spec ~protocol plan =
-  let report = Runner.run_one ~spec ~plan ~protocol in
+  let report = Runner.run_one ~spec ~plan ~protocol () in
   match report.Runner.exec with
   | Runner.Verdict v -> v.Oracle.deposit_lost
   | Runner.Rejected _ | Runner.Skipped _ -> false
 
 let concretize ?(note = "model-checker counterexample") ~spec ~protocol ~schedule () =
   let target = runner_protocol protocol in
-  let universe, _, _ = Runner.build_universe ~spec ~protocol:target in
+  let universe, _, _ = Runner.build_universe ~spec ~protocol:target () in
   let delta = Ac3_core.Universe.max_delta universe in
   let parties = crash_parties schedule in
   let plan_at frac = List.map (fun p -> Plan.Crash { party = p; at = frac *. delta }) parties in

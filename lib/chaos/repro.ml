@@ -92,7 +92,7 @@ let of_string s = of_json (Json.of_string s)
 type replay_result = { expected : expectation; report : Runner.report; matches : bool }
 
 let replay_one t expected =
-  let report = Runner.run_one ~spec:t.spec ~plan:t.plan ~protocol:expected.protocol in
+  let report = Runner.run_one ~spec:t.spec ~plan:t.plan ~protocol:expected.protocol () in
   let matches =
     match report.Runner.exec with
     | Runner.Verdict v ->

@@ -12,6 +12,9 @@
 module Rng = Ac3_sim.Rng
 module Pool = Ac3_par.Pool
 module Trace = Ac3_sim.Trace
+module Obs = Ac3_obs.Obs
+module Metrics = Ac3_obs.Metrics
+module Span = Ac3_obs.Span
 module Keys = Ac3_crypto.Keys
 module Amount = Ac3_chain.Amount
 module Ac2t = Ac3_contract.Ac2t
@@ -45,6 +48,7 @@ type report = {
   exec : exec;
   trace : Trace.t option;  (** the protocol's own event log *)
   chaos_trace : Trace.t option;  (** universe log: the faults that fired *)
+  obs : Obs.t;  (** the run universe's metrics and spans *)
 }
 
 let failed r = match r.exec with Verdict v -> not v.Oracle.pass | Rejected _ | Skipped _ -> false
@@ -111,12 +115,12 @@ let build_graph ~spec ~ids ~timestamp =
   | Plan.Supply_chain -> Scenarios.supply_chain_graph ~chains ids ~timestamp
   | Plan.Random -> random_graph ~spec ~ids ~timestamp
 
-let build_universe ~spec ~protocol =
+let build_universe ?instrument ~spec ~protocol () =
   let ns = Printf.sprintf "chaos%d-%s" spec.Plan.seed (protocol_name protocol) in
   let ids = Scenarios.identities ~ns ~fresh:true spec.Plan.parties in
   let universe, participants =
     Scenarios.make_universe ~seed:spec.Plan.seed ~block_interval ~confirm_depth ~nodes:2
-      ~chains:(Plan.chain_names spec) ids ()
+      ?instrument ~chains:(Plan.chain_names spec) ids ()
   in
   Universe.run_until universe warmup;
   (universe, participants, ids)
@@ -124,10 +128,42 @@ let build_universe ~spec ~protocol =
 (* ------------------------------------------------------------------ *)
 (* One protocol under one plan *)
 
-let run_one ~spec ~plan ~protocol =
-  let universe, participants, ids = build_universe ~spec ~protocol in
+let run_one ?instrument ~spec ~plan ~protocol () =
+  let universe, participants, ids = build_universe ?instrument ~spec ~protocol () in
+  let run_span =
+    Span.enter (Universe.spans universe)
+      ~attrs:
+        [
+          ("seed", string_of_int spec.Plan.seed); ("protocol", protocol_name protocol);
+        ]
+      "run"
+  in
   let finish ?trace exec =
-    { protocol; spec; plan; exec; trace; chaos_trace = Some (Universe.trace universe) }
+    Span.exit (Universe.spans universe) run_span;
+    Universe.snapshot_metrics universe;
+    let m = Universe.metrics universe in
+    let verdict =
+      match exec with
+      | Verdict v -> if v.Oracle.pass then "pass" else "violation"
+      | Rejected _ -> "rejected"
+      | Skipped _ -> "skipped"
+    in
+    Metrics.incr
+      (Metrics.counter m
+         ~labels:[ ("protocol", protocol_name protocol); ("verdict", verdict) ]
+         "chaos.run");
+    Metrics.add
+      (Metrics.counter m ~labels:[ ("protocol", protocol_name protocol) ] "chaos.faults_planned")
+      (List.length plan);
+    {
+      protocol;
+      spec;
+      plan;
+      exec;
+      trace;
+      chaos_trace = Some (Universe.trace universe);
+      obs = Universe.obs universe;
+    }
   in
   let graph = build_graph ~spec ~ids ~timestamp:(Universe.now universe) in
   let delta = Universe.max_delta universe in
@@ -177,8 +213,8 @@ let run_one ~spec ~plan ~protocol =
 
 (* Protocols are independent runs over universes rebuilt from the same
    spec, so they parallelize; collection preserves protocol order. *)
-let run_all ?(protocols = all_protocols) ?(jobs = 1) ~spec ~plan () =
-  Pool.map ~jobs (fun protocol -> run_one ~spec ~plan ~protocol) protocols
+let run_all ?(protocols = all_protocols) ?(jobs = 1) ?instrument ~spec ~plan () =
+  Pool.map ~jobs (fun protocol -> run_one ?instrument ~spec ~plan ~protocol ()) protocols
 
 (* ------------------------------------------------------------------ *)
 (* Sweeps *)
@@ -216,6 +252,7 @@ type summary = {
   per_protocol : (protocol * counts) list;
   failures : failure list;
   unexplained_failures : int;
+  obs : Obs.t;  (** per-run contexts merged in (run, protocol) order *)
 }
 
 let tally c = function
@@ -243,17 +280,23 @@ let tally c = function
    the sequential (run, protocol) order; the summary and every
    [on_report] callback are therefore byte-identical for every [jobs]
    (locked in by test/test_par.ml). *)
-let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ~seed ~runs () =
+let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ?(instrument = true) ~seed ~runs ()
+    =
   let reports_by_run =
     Pool.run ~jobs
       (List.init runs (fun k () ->
            let run_seed = seed + k in
            let spec, plan = Plan.sample ~seed:run_seed in
-           (run_seed, List.map (fun protocol -> run_one ~spec ~plan ~protocol) protocols)))
+           ( run_seed,
+             List.map (fun protocol -> run_one ~instrument ~spec ~plan ~protocol ()) protocols )))
   in
   let per = List.map (fun p -> (p, zero_counts ())) protocols in
   let failures = ref [] in
   let unexplained_failures = ref 0 in
+  (* Per-run observability contexts merge in the same sequential (run,
+     protocol) order as the tally below, which is what makes the merged
+     registry and span forest byte-identical for every [jobs]. *)
+  let obs = Obs.create ~enabled:instrument ~clock:(fun () -> 0.0) () in
   List.iter
     (fun (run_seed, reports) ->
       List.iter2
@@ -261,6 +304,8 @@ let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ~seed ~runs () =
           tally counts r.exec;
           if failed r then failures := { fail_seed = run_seed; fail_protocol = r.protocol } :: !failures;
           if unexplained r then incr unexplained_failures;
+          Metrics.merge_into ~into:obs.Obs.metrics r.obs.Obs.metrics;
+          Span.import ~into:obs.Obs.spans r.obs.Obs.spans;
           match on_report with None -> () | Some f -> f r)
         per reports)
     reports_by_run;
@@ -270,6 +315,7 @@ let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ~seed ~runs () =
     per_protocol = per;
     failures = List.rev !failures;
     unexplained_failures = !unexplained_failures;
+    obs;
   }
 
 let pp_counts ppf c =

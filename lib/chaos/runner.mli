@@ -25,6 +25,7 @@ type report = {
   exec : exec;
   trace : Ac3_sim.Trace.t option;  (** the protocol's own event log *)
   chaos_trace : Ac3_sim.Trace.t option;  (** universe log: faults that fired *)
+  obs : Ac3_obs.Obs.t;  (** the run universe's metrics and spans *)
 }
 
 (** Did the oracle fail this run? (Rejected/Skipped never count.) *)
@@ -41,19 +42,32 @@ val warmup : float
 val protocol_timeout : float
 
 val build_universe :
+  ?instrument:bool ->
   spec:Plan.spec ->
   protocol:protocol ->
+  unit ->
   Ac3_core.Universe.t * Ac3_core.Participant.t list * Ac3_crypto.Keys.t list
 
 val build_graph :
   spec:Plan.spec -> ids:Ac3_crypto.Keys.t list -> timestamp:float -> Ac3_contract.Ac2t.t
 
-val run_one : spec:Plan.spec -> plan:Plan.t -> protocol:protocol -> report
+(** [instrument] (default [true]) switches the run universe's
+    observability context; either way the protocol outcome, traces and
+    verdict are byte-identical — instruments never touch the RNG or the
+    engine. *)
+val run_one :
+  ?instrument:bool -> spec:Plan.spec -> plan:Plan.t -> protocol:protocol -> unit -> report
 
 (** [jobs] runs the protocols on an [Ac3_par.Pool]; results keep
     protocol order and are identical for every value (default 1). *)
 val run_all :
-  ?protocols:protocol list -> ?jobs:int -> spec:Plan.spec -> plan:Plan.t -> unit -> report list
+  ?protocols:protocol list ->
+  ?jobs:int ->
+  ?instrument:bool ->
+  spec:Plan.spec ->
+  plan:Plan.t ->
+  unit ->
+  report list
 
 type counts = {
   mutable ran : int;
@@ -75,6 +89,9 @@ type summary = {
   per_protocol : (protocol * counts) list;
   failures : failure list;
   unexplained_failures : int;
+  obs : Ac3_obs.Obs.t;
+      (** the per-run observability contexts merged in sequential (run,
+          protocol) order — byte-identical for every [jobs] value *)
 }
 
 (** Run [runs] sampled plans (per-run seeds [seed], [seed+1], ...), each
@@ -87,6 +104,7 @@ val sweep :
   ?protocols:protocol list ->
   ?on_report:(report -> unit) ->
   ?jobs:int ->
+  ?instrument:bool ->
   seed:int ->
   runs:int ->
   unit ->

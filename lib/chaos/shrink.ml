@@ -15,8 +15,12 @@
    final plan, and log lines are identical for every [jobs]. *)
 
 module Pool = Ac3_par.Pool
+module Metrics = Ac3_obs.Metrics
 
-let still_fails ~spec ~protocol plan = Runner.failed (Runner.run_one ~spec ~plan ~protocol)
+(* Candidate re-runs don't need their own instrumentation; shrink
+   progress is what the caller's registry tracks. *)
+let still_fails ~spec ~protocol plan =
+  Runner.failed (Runner.run_one ~instrument:false ~spec ~plan ~protocol ())
 
 let remove_at i plan = List.filteri (fun j _ -> j <> i) plan
 
@@ -35,11 +39,6 @@ let drop_once ~jobs ~spec ~protocol ~log plan =
       log (Printf.sprintf "shrink: dropped fault %d/%d, still fails" (i + 1) n);
       Some candidate
   | None -> None
-
-let rec drop_to_fixpoint ~jobs ~spec ~protocol ~log plan =
-  match drop_once ~jobs ~spec ~protocol ~log plan with
-  | Some smaller -> drop_to_fixpoint ~jobs ~spec ~protocol ~log smaller
-  | None -> plan
 
 let min_duration = 10.0
 
@@ -78,12 +77,33 @@ let weaken_once ~jobs ~spec ~protocol ~log plan =
       Some candidate
   | None -> None
 
-let rec weaken_to_fixpoint ~jobs ~spec ~protocol ~log plan =
-  match weaken_once ~jobs ~spec ~protocol ~log plan with
-  | Some weaker -> weaken_to_fixpoint ~jobs ~spec ~protocol ~log weaker
-  | None -> plan
-
-(* Precondition: [plan] fails under [protocol]; the result still does. *)
-let shrink ?(log = fun _ -> ()) ?(jobs = 1) ~spec ~protocol plan =
-  let dropped = drop_to_fixpoint ~jobs ~spec ~protocol ~log plan in
-  weaken_to_fixpoint ~jobs ~spec ~protocol ~log dropped
+(* Precondition: [plan] fails under [protocol]; the result still does.
+   [metrics] (when given) tracks shrink-round progress: rounds per pass,
+   candidates tried, and faults shed. *)
+let shrink ?(log = fun _ -> ()) ?(jobs = 1) ?metrics ~spec ~protocol plan =
+  let m = match metrics with Some m -> m | None -> Metrics.create ~enabled:false () in
+  let meter pass name = Metrics.counter m ~labels:[ ("pass", pass) ] name in
+  let counting pass step ~jobs ~spec ~protocol ~log plan =
+    Metrics.incr (meter pass "chaos.shrink.rounds");
+    Metrics.add (meter pass "chaos.shrink.candidates") (List.length plan);
+    match step ~jobs ~spec ~protocol ~log plan with
+    | Some smaller ->
+        Metrics.incr (meter pass "chaos.shrink.progress");
+        Some smaller
+    | None -> None
+  in
+  let rec drop_fix plan =
+    match counting "drop" drop_once ~jobs ~spec ~protocol ~log plan with
+    | Some smaller -> drop_fix smaller
+    | None -> plan
+  in
+  let rec weaken_fix plan =
+    match counting "weaken" weaken_once ~jobs ~spec ~protocol ~log plan with
+    | Some weaker -> weaken_fix weaker
+    | None -> plan
+  in
+  let result = weaken_fix (drop_fix plan) in
+  Metrics.add
+    (Metrics.counter m "chaos.shrink.faults_shed")
+    (List.length plan - List.length result);
+  result

@@ -9,7 +9,11 @@
 
     [jobs > 1] evaluates each round's candidates on an [Ac3_par.Pool];
     first-surviving-candidate-by-index semantics are preserved, so the
-    shrink trajectory and result are identical for every [jobs]. *)
+    shrink trajectory and result are identical for every [jobs].
+
+    [metrics] (when given) tracks shrink progress: rounds and candidate
+    counts per pass (labelled [{pass=drop|weaken}]) and the number of
+    faults shed overall. *)
 
 val still_fails : spec:Plan.spec -> protocol:Runner.protocol -> Plan.t -> bool
 
@@ -18,6 +22,7 @@ val weaken_fault : Plan.fault -> Plan.fault option
 val shrink :
   ?log:(string -> unit) ->
   ?jobs:int ->
+  ?metrics:Ac3_obs.Metrics.t ->
   spec:Plan.spec ->
   protocol:Runner.protocol ->
   Plan.t ->

@@ -22,6 +22,8 @@
 
 module Engine = Ac3_sim.Engine
 module Trace = Ac3_sim.Trace
+module Metrics = Ac3_obs.Metrics
+module Span = Ac3_obs.Span
 module Keys = Ac3_crypto.Keys
 module Hex = Ac3_crypto.Hex
 module Ac2t = Ac3_contract.Ac2t
@@ -97,6 +99,23 @@ let record run ?attrs label =
 let charge run ~payer ~kind ~fee = run.fees <- { payer; kind; fee } :: run.fees
 
 let witness_node run = Universe.gateway run.universe run.config.witness_chain
+
+let obs_labels = [ ("protocol", "ac3wn") ]
+
+(* Evidence bundles are where AC3WN pays its validation bill: each
+   carries the header chain from the checkpoint to the proven
+   transaction, and the contract walks all of it. Header count and wire
+   bytes are the cost observables. *)
+let observe_evidence run ev =
+  let m = Universe.metrics run.universe in
+  Metrics.incr (Metrics.counter m ~labels:obs_labels "core.evidence.built");
+  Metrics.observe
+    (Metrics.histogram m ~labels:obs_labels ~lo:0.0 ~hi:100.0 ~buckets:20 "core.evidence.headers")
+    (float_of_int (List.length ev.Evidence.headers));
+  Metrics.observe
+    (Metrics.histogram m ~labels:obs_labels ~lo:0.0 ~hi:20_000.0 ~buckets:20
+       "core.evidence.bytes")
+    (float_of_int (Evidence.size ev))
 
 let scw_state run =
   match run.scw_id with
@@ -224,6 +243,7 @@ let try_authorize_redeem run p scw =
                  | _ -> Error "deployment or checkpoint missing")
         in
         if List.for_all Result.is_ok evidences then begin
+          List.iter (fun e -> observe_evidence run (Result.get_ok e)) evidences;
           let args = Value.List (List.map (fun e -> Evidence.to_value (Result.get_ok e)) evidences) in
           let wallet = Participant.wallet p run.config.witness_chain in
           match
@@ -321,6 +341,7 @@ let try_settle_edges run p (decision_fn, decision_txid) =
                   | Error e ->
                       Log.debug (fun m -> m "evidence for settlement failed: %s" e)
                   | Ok evidence -> (
+                      observe_evidence run evidence;
                       let fn = if redeeming then "redeem" else "refund" in
                       let wallet = Participant.wallet p es.edge.Ac2t.chain in
                       match
@@ -389,6 +410,59 @@ let all_settled run =
       Array.for_all
         (fun es -> edge_settled run es || (es.deploy_txid = None && aborted))
         run.edges
+
+(* Fold the run into the universe's observability context. Phase spans
+   and the witness-decision latency are derived from the trace the
+   protocol already records, so enabling them cannot perturb a run. *)
+let observe_run run ~start_time ~finished =
+  let m = Universe.metrics run.universe in
+  let count field =
+    Array.fold_left (fun acc es -> if field es <> None then acc + 1 else acc) 0 run.edges
+  in
+  Metrics.add
+    (Metrics.counter m ~labels:obs_labels "core.deploy.submitted")
+    (count (fun es -> es.deploy_txid));
+  Metrics.add
+    (Metrics.counter m ~labels:obs_labels "core.redeem.submitted")
+    (count (fun es -> es.redeem_txid));
+  Metrics.add
+    (Metrics.counter m ~labels:obs_labels "core.refund.submitted")
+    (count (fun es -> es.refund_txid));
+  Metrics.incr
+    (Metrics.counter m ~labels:obs_labels
+       (if finished then "core.run.completed" else "core.run.timed_out"));
+  (* Witness-decision latency: first authorize submission to the decision
+     call sitting at decision depth on the witness chain. *)
+  let first_with prefix =
+    List.find_opt
+      (fun (r : Trace.record) -> String.starts_with ~prefix r.Trace.label)
+      (Trace.records run.trace)
+  in
+  (match (first_with "authorize_", first_with "decision_confirmed:") with
+  | Some a, Some d when d.Trace.time >= a.Trace.time ->
+      Metrics.observe
+        (Metrics.histogram m ~labels:obs_labels ~lo:0.0 ~hi:200.0 ~buckets:40
+           "core.witness.decision_latency")
+        (d.Trace.time -. a.Trace.time)
+  | _ -> ());
+  let spans = Universe.spans run.universe in
+  let root =
+    Span.add spans ~attrs:obs_labels ~name:"ac3wn" ~start:start_time
+      ~stop:(Universe.now run.universe) ()
+  in
+  Span.of_trace spans ~parent:root
+    ~phases:
+      [
+        { Span.phase = "scw_deploy"; opens = "scw_deployed"; closes = [ "scw_confirmed" ] };
+        { Span.phase = "edge_deploy"; opens = "edge_deployed:"; closes = [ "edge_deployed:" ] };
+        { Span.phase = "decision"; opens = "authorize_"; closes = [ "decision_confirmed:" ] };
+        {
+          Span.phase = "settle";
+          opens = "decision_confirmed:";
+          closes = [ "redeem_submitted:"; "refund_submitted:" ];
+        };
+      ]
+    run.trace
 
 (* --- Entry point -------------------------------------------------------- *)
 
@@ -482,6 +556,7 @@ let execute universe ~config ~graph ~participants ?(hooks = []) ?abort_after ?(v
   let finished = Universe.run_while universe ~timeout:config.timeout (fun () -> all_settled run) in
   stopped := true;
   if finished then record run "completed";
+  observe_run run ~start_time ~finished;
   let contracts = Array.to_list (Array.map (fun es -> es.contract_id) run.edges) in
   let outcome = Outcome.evaluate universe ~graph ~contracts in
   let latency =

@@ -20,6 +20,8 @@
 
 module Engine = Ac3_sim.Engine
 module Trace = Ac3_sim.Trace
+module Metrics = Ac3_obs.Metrics
+module Span = Ac3_obs.Span
 module Keys = Ac3_crypto.Keys
 module Sha256 = Ac3_crypto.Sha256
 module Ac2t = Ac3_contract.Ac2t
@@ -293,7 +295,37 @@ type result = {
   fees : fee_entry list;
 }
 
-let execute universe ~config ~graph ~participants ?(hooks = []) ?(verify = false) () =
+(* Fold the run into the universe's observability context: phase spans
+   derived from the trace the protocol already records (so tracing
+   cannot perturb the run) plus submission counters. [obs_name] labels
+   the protocol — Nolan's delegation passes its own name. *)
+let observe_run run ~obs_name ~start_time ~finished =
+  let m = Universe.metrics run.universe in
+  let labels = [ ("protocol", obs_name) ] in
+  let count field =
+    Array.fold_left (fun acc es -> if field es <> None then acc + 1 else acc) 0 run.edges
+  in
+  Metrics.add (Metrics.counter m ~labels "core.deploy.submitted") (count (fun es -> es.deploy_txid));
+  Metrics.add (Metrics.counter m ~labels "core.redeem.submitted") (count (fun es -> es.redeem_txid));
+  Metrics.add (Metrics.counter m ~labels "core.refund.submitted") (count (fun es -> es.refund_txid));
+  Metrics.incr
+    (Metrics.counter m ~labels (if finished then "core.run.completed" else "core.run.timed_out"));
+  let spans = Universe.spans run.universe in
+  let root =
+    Span.add spans ~attrs:labels ~name:obs_name ~start:start_time
+      ~stop:(Universe.now run.universe) ()
+  in
+  Span.of_trace spans ~parent:root
+    ~phases:
+      [
+        { Span.phase = "deploy"; opens = "deploy:"; closes = [ "deploy:" ] };
+        { Span.phase = "redeem"; opens = "redeem:"; closes = [ "redeem:" ] };
+        { Span.phase = "refund"; opens = "refund:"; closes = [ "refund:" ] };
+      ]
+    run.trace
+
+let execute universe ~config ~graph ~participants ?(hooks = []) ?(verify = false)
+    ?(obs_name = "herlihy") () =
   let by_pk = List.map (fun p -> (Participant.public p, p)) participants in
   let leader = List.hd (Ac2t.participants graph) in
   let preflight =
@@ -381,6 +413,7 @@ let execute universe ~config ~graph ~participants ?(hooks = []) ?(verify = false
       in
       stopped := true;
       if finished then record run "completed";
+      observe_run run ~obs_name ~start_time ~finished;
       let contracts = Array.to_list (Array.map (fun es -> es.contract_id) run.edges) in
       let outcome = Outcome.evaluate universe ~graph ~contracts in
       Ok

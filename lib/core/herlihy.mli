@@ -39,7 +39,10 @@ type result = {
     trace labels such as ["deploy:2"] or ["redeem:1"] (per-edge indexes
     in graph order). With [~verify:true] the static verifier
     ({!Ac3_verify.Verify.herlihy_preflight}) runs first and any error
-    diagnostic aborts the run before anything touches a chain. *)
+    diagnostic aborts the run before anything touches a chain.
+    [obs_name] (default ["herlihy"]) labels the metrics and phase spans
+    the run folds into the universe's observability context — Nolan's
+    delegation passes its own name. *)
 val execute :
   Universe.t ->
   config:config ->
@@ -47,6 +50,7 @@ val execute :
   participants:Participant.t list ->
   ?hooks:(string * (unit -> unit)) list ->
   ?verify:bool ->
+  ?obs_name:string ->
   unit ->
   (result, string) Stdlib.result
 

@@ -22,7 +22,9 @@ type result = Herlihy.result
 let execute universe ~config ~graph ~participants ?hooks ?verify () =
   if Ac2t.classify graph <> Ac2t.Simple_swap then
     invalid_arg "Nolan.execute: graph is not a two-party swap";
-  match Herlihy.execute universe ~config ~graph ~participants ?hooks ?verify () with
+  match
+    Herlihy.execute universe ~config ~graph ~participants ?hooks ?verify ~obs_name:"nolan" ()
+  with
   | Ok r -> r
   | Error e -> invalid_arg ("Nolan.execute: " ^ e)
 

@@ -36,8 +36,8 @@ let chain_params ?(block_interval = 10.0) ?(confirm_depth = 4) ?(regular_blocks 
 (* Build a universe with [chains] asset chains plus a witness chain, all
    funding every listed identity. Returns (universe, participants). *)
 let make_universe ?(seed = 7) ?(block_interval = 10.0) ?(confirm_depth = 4) ?(nodes = 2)
-    ?(regular_blocks = false) ~chains ids () =
-  let u = Universe.create ~seed () in
+    ?(regular_blocks = false) ?instrument ~chains ids () =
+  let u = Universe.create ~seed ?instrument () in
   let premine = List.map (fun id -> (Keys.address id, funding)) ids in
   let all_chains = chains @ [ "witness" ] in
   List.iter

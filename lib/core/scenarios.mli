@@ -33,6 +33,7 @@ val make_universe :
   ?confirm_depth:int ->
   ?nodes:int ->
   ?regular_blocks:bool ->
+  ?instrument:bool ->
   chains:string list ->
   Keys.t list ->
   unit ->

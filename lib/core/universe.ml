@@ -8,6 +8,8 @@
 module Engine = Ac3_sim.Engine
 module Rng = Ac3_sim.Rng
 module Trace = Ac3_sim.Trace
+module Obs = Ac3_obs.Obs
+module Metrics = Ac3_obs.Metrics
 open Ac3_chain
 
 type chain = {
@@ -23,15 +25,22 @@ type t = {
   registry : Contract_iface.registry;
   mutable chains : (string * chain) list;
   trace : Trace.t;
+  obs : Obs.t;
 }
 
-let create ?(seed = 1) () =
+(* [instrument:false] keeps the observability context but makes every
+   instrument inert — one boolean check per operation, the baseline of
+   bench E14. Either way the context never touches the RNG or the
+   engine, so protocol runs are byte-identical with metrics on or off. *)
+let create ?(seed = 1) ?(instrument = true) () =
+  let engine = Engine.create () in
   {
-    engine = Engine.create ();
+    engine;
     rng = Rng.create seed;
     registry = Ac3_contract.Registry.standard ();
     chains = [];
     trace = Trace.create ();
+    obs = Obs.create ~enabled:instrument ~clock:(fun () -> Engine.now engine) ();
   }
 
 let engine t = t.engine
@@ -39,6 +48,12 @@ let engine t = t.engine
 let rng t = t.rng
 
 let trace t = t.trace
+
+let obs t = t.obs
+
+let metrics t = t.obs.Obs.metrics
+
+let spans t = t.obs.Obs.spans
 
 let now t = Engine.now t.engine
 
@@ -53,6 +68,7 @@ let add_chain ?(nodes = 3) ?(min_delay = 0.05) ?(max_delay = 0.5) t params =
   let node_arr =
     Array.init nodes (fun i ->
         Node.create ~engine:t.engine ~network ~params ~registry:t.registry
+          ~metrics:(metrics t)
           (Printf.sprintf "%s/node%d" id i))
   in
   let miners =
@@ -60,7 +76,7 @@ let add_chain ?(nodes = 3) ?(min_delay = 0.05) ?(max_delay = 0.5) t params =
       (fun node ->
         Miner.create ~engine:t.engine ~rng:(Rng.split t.rng) ~node
           ~address:(Ac3_crypto.Keys.address (Ac3_crypto.Keys.create ("miner:" ^ Node.id node)))
-          ~share:(1.0 /. float_of_int nodes))
+          ~share:(1.0 /. float_of_int nodes) ~metrics:(metrics t) ())
       node_arr
   in
   Array.iter Miner.start miners;
@@ -102,6 +118,44 @@ let run_while t ?(timeout = 500_000.0) cond =
   let horizon = now t +. timeout in
   ignore (Engine.run ~until:horizon ~stop:(fun () -> cond ()) t.engine);
   cond ()
+
+(* End-of-run harvest: fold the per-chain quantities that are cheapest
+   to read once (network traffic, active-chain tx totals, observed vs
+   configured throughput) into the metrics registry. Gauges hold
+   run-invariant configuration; per-run measurements go into counters
+   and histograms so sweep merges stay order-correct. *)
+let snapshot_metrics t =
+  if Obs.is_enabled t.obs then
+    List.iter
+      (fun (id, c) ->
+        let labels = [ ("chain", id) ] in
+        let counter name = Metrics.counter (metrics t) ~labels name in
+        let sent, delivered, dropped = Network.stats c.network in
+        Metrics.add (counter "chain.net.sent") sent;
+        Metrics.add (counter "chain.net.delivered") delivered;
+        Metrics.add (counter "chain.net.dropped") dropped;
+        let store = Node.store c.nodes.(0) in
+        let tip = Store.tip_height store in
+        Metrics.add (counter "chain.height") tip;
+        let txs = ref 0 in
+        for h = 1 to tip do
+          match Store.block_at_height store h with
+          | Some b ->
+              txs :=
+                !txs + List.length (List.filter (fun tx -> not (Tx.is_coinbase tx)) b.Block.txs)
+          | None -> ()
+        done;
+        Metrics.add (counter "chain.tx.mined") !txs;
+        let capacity_tps =
+          float_of_int c.params.Params.block_capacity /. c.params.Params.block_interval
+        in
+        Metrics.set (Metrics.gauge (metrics t) ~labels "chain.tps.capacity") capacity_tps;
+        if now t > 0.0 then
+          Metrics.observe
+            (Metrics.histogram (metrics t) ~labels ~lo:0.0 ~hi:50.0 ~buckets:25
+               "chain.tps.observed")
+            (float_of_int !txs /. now t))
+      t.chains
 
 (* A stable checkpoint header of a chain: the active block at
    confirmation depth below the tip (or genesis for short chains). *)

@@ -12,13 +12,31 @@ type chain = {
 
 type t
 
-val create : ?seed:int -> unit -> t
+(** [instrument] (default [true]) controls the observability context:
+    [false] makes every instrument inert (one boolean check per
+    operation — the bench E14 baseline). The context never draws from
+    the RNG or schedules events, so runs are byte-identical either
+    way. *)
+val create : ?seed:int -> ?instrument:bool -> unit -> t
 
 val engine : t -> Ac3_sim.Engine.t
 
 val rng : t -> Ac3_sim.Rng.t
 
 val trace : t -> Ac3_sim.Trace.t
+
+(** The universe's observability context (metrics + spans on the
+    virtual clock); chains created by {!add_chain} record into it. *)
+val obs : t -> Ac3_obs.Obs.t
+
+val metrics : t -> Ac3_obs.Metrics.t
+
+val spans : t -> Ac3_obs.Span.t
+
+(** Fold end-of-run per-chain quantities into the registry: network
+    sent/delivered/dropped, active-chain height and transaction count,
+    observed vs configured throughput. Call once when a run ends. *)
+val snapshot_metrics : t -> unit
 
 val now : t -> float
 

@@ -34,7 +34,23 @@ let in_pool = Domain.DLS.new_key (fun () -> false)
 
 type 'a slot = Pending | Done of 'a | Raised of exn * Printexc.raw_backtrace
 
-let run ?jobs tasks =
+(* Lifetime totals for the observability layer: work *submitted*, not
+   work *scheduled*. [run]/[map] count their full task list;
+   [first_success] counts its candidate list once, not the
+   jobs-dependent number of candidates it actually evaluates — so the
+   totals are identical for every [jobs] value and safe to export as
+   deterministic metrics. *)
+let total_tasks = Atomic.make 0
+
+let total_batches = Atomic.make 0
+
+let stats () = (Atomic.get total_batches, Atomic.get total_tasks)
+
+let count_batch n =
+  ignore (Atomic.fetch_and_add total_batches 1);
+  ignore (Atomic.fetch_and_add total_tasks n)
+
+let run_uncounted ?jobs tasks =
   if Domain.DLS.get in_pool then raise Nested;
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
@@ -72,6 +88,10 @@ let run ?jobs tasks =
       (Array.map (function Done v -> v | Pending | Raised _ -> assert false) slots)
   end
 
+let run ?jobs tasks =
+  count_batch (List.length tasks);
+  run_uncounted ?jobs tasks
+
 let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)
 
 let mapi ?jobs f xs = run ?jobs (List.mapi (fun i x () -> f i x) xs)
@@ -82,6 +102,7 @@ let mapi ?jobs f xs = run ?jobs (List.mapi (fun i x () -> f i x) xs)
    what the sequential scan would have returned. *)
 let first_success ?jobs thunks =
   let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  count_batch (List.length thunks);
   let rec take k acc = function
     | rest when k = 0 -> (List.rev acc, rest)
     | [] -> (List.rev acc, [])
@@ -91,7 +112,7 @@ let first_success ?jobs thunks =
     | [] -> None
     | remaining -> (
         let block, rest = take jobs [] remaining in
-        match List.find_opt Option.is_some (run ~jobs block) with
+        match List.find_opt Option.is_some (run_uncounted ~jobs block) with
         | Some result -> result
         | None -> go rest)
   in

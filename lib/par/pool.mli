@@ -37,6 +37,15 @@ val default_jobs : unit -> int
     the task or when. *)
 val split_seed : root:int -> index:int -> int
 
+(** [(batches, tasks)] submitted to the pool by this process so far.
+    Work is counted as *submitted*, not as *scheduled*: {!run}/{!map}
+    count their full task list and {!first_success} counts its whole
+    candidate list (not the jobs-dependent number it actually
+    evaluates), so the totals are the same for every [jobs] value and
+    safe to export as deterministic metrics. Per-domain utilization is
+    jobs-dependent by nature and not tracked. *)
+val stats : unit -> int * int
+
 (** [run ?jobs tasks] executes every thunk and returns the results in
     task order. If any task raises, the remaining tasks still run and
     the exception of the lowest-indexed failing task is re-raised (with

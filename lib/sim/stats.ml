@@ -1,4 +1,12 @@
-(* Small statistics toolbox used by the experiment harness. *)
+(* Small statistics toolbox used by the experiment harness.
+
+   NaN policy: order statistics (percentile, minimum, maximum) and
+   [summarize] DROP NaN samples and report how many were dropped —
+   a NaN must never silently poison a sort (polymorphic [compare] puts
+   NaN in an unspecified position, yielding garbage percentiles) or leak
+   asymmetrically out of min/max. [mean]/[variance] keep IEEE
+   propagation: a NaN sample makes them NaN, which is visible rather
+   than wrong. *)
 
 let mean xs =
   match xs with
@@ -15,17 +23,25 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
-let minimum xs = match xs with [] -> nan | x :: r -> List.fold_left min x r
+(* Split out the NaNs: (valid samples in order, dropped count). *)
+let drop_nans xs =
+  let valid = List.filter (fun x -> not (Float.is_nan x)) xs in
+  (valid, List.length xs - List.length valid)
 
-let maximum xs = match xs with [] -> nan | x :: r -> List.fold_left max x r
+let minimum xs =
+  match fst (drop_nans xs) with [] -> nan | x :: r -> List.fold_left Float.min x r
 
-(* Nearest-rank percentile on a copy of the data. [p] in [0, 100]. *)
+let maximum xs =
+  match fst (drop_nans xs) with [] -> nan | x :: r -> List.fold_left Float.max x r
+
+(* Nearest-rank percentile on a copy of the data. [p] in [0, 100].
+   Sorts with [Float.compare]: total order, NaNs already dropped. *)
 let percentile xs p =
-  match xs with
+  match fst (drop_nans xs) with
   | [] -> nan
-  | _ ->
-      let arr = Array.of_list xs in
-      Array.sort compare arr;
+  | valid ->
+      let arr = Array.of_list valid in
+      Array.sort Float.compare arr;
       let n = Array.length arr in
       let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
       let idx = max 0 (min (n - 1) (rank - 1)) in
@@ -34,7 +50,8 @@ let percentile xs p =
 let median xs = percentile xs 50.0
 
 type summary = {
-  count : int;
+  count : int;  (** valid (non-NaN) samples *)
+  nans : int;  (** NaN samples dropped *)
   mean : float;
   stddev : float;
   min : float;
@@ -44,37 +61,50 @@ type summary = {
   p99 : float;
 }
 
+(* Every field of the summary is computed over the valid samples; the
+   [nans] count is the warning that samples were dropped. *)
 let summarize xs =
+  let valid, nans = drop_nans xs in
   {
-    count = List.length xs;
-    mean = mean xs;
-    stddev = stddev xs;
-    min = minimum xs;
-    max = maximum xs;
-    p50 = percentile xs 50.0;
-    p95 = percentile xs 95.0;
-    p99 = percentile xs 99.0;
+    count = List.length valid;
+    nans;
+    mean = mean valid;
+    stddev = stddev valid;
+    min = minimum valid;
+    max = maximum valid;
+    p50 = percentile valid 50.0;
+    p95 = percentile valid 95.0;
+    p99 = percentile valid 99.0;
   }
 
 let pp_summary ppf s =
   Fmt.pf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f"
-    s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max;
+  if s.nans > 0 then Fmt.pf ppf " (dropped %d NaN)" s.nans
 
-(* Histogram with [buckets] equal-width bins over [lo, hi). *)
+type hist = { counts : int array; underflow : int; overflow : int; dropped_nans : int }
+
+(* Histogram with [buckets] equal-width bins over [lo, hi] — the top
+   bucket is closed so [x = hi] is counted, and out-of-range samples
+   are tallied instead of silently vanishing. *)
 let histogram ~lo ~hi ~buckets xs =
   if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
   if hi <= lo then invalid_arg "Stats.histogram: hi must exceed lo";
   let counts = Array.make buckets 0 in
+  let underflow = ref 0 and overflow = ref 0 and dropped = ref 0 in
   let width = (hi -. lo) /. float_of_int buckets in
   List.iter
     (fun x ->
-      if x >= lo && x < hi then begin
+      if Float.is_nan x then incr dropped
+      else if x < lo then incr underflow
+      else if x > hi then incr overflow
+      else begin
         let b = int_of_float ((x -. lo) /. width) in
         let b = max 0 (min (buckets - 1) b) in
         counts.(b) <- counts.(b) + 1
       end)
     xs;
-  counts
+  { counts; underflow = !underflow; overflow = !overflow; dropped_nans = !dropped }
 
 (* Wilson score interval for a binomial proportion; used to report
    confidence on measured atomicity-violation rates. *)

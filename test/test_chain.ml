@@ -85,7 +85,7 @@ let make_world ?(seed = 11) ?(n = 3) ?(paramsdelta = fun p -> p) () =
       (fun node ->
         Miner.create ~engine ~rng:(Rng.split rng) ~node
           ~address:(Keys.address (Keys.create ("miner-" ^ Node.id node)))
-          ~share:(1.0 /. float_of_int n))
+          ~share:(1.0 /. float_of_int n) ())
       nodes
   in
   Array.iter Miner.start miners;
@@ -564,6 +564,44 @@ let test_mempool_order_and_dedup () =
   Alcotest.(check bool) "tx1 first" true (Tx.txid (List.hd c) = Tx.txid tx1);
   Mempool.remove mp (Tx.txid tx1);
   Alcotest.(check int) "removed" 1 (Mempool.size mp)
+
+(* Regression for the candidates hot path: the sort was replaced by a
+   reverse (entries are newest-first with monotone seq), which must be
+   indistinguishable from sorting by arrival order under any add/remove
+   interleaving — including ones that trigger the lazy sweep. *)
+let qcheck_mempool_candidates_arrival_order =
+  (* A cheap unique unsigned transfer per index; the mempool never
+     validates, it only dedups by txid. *)
+  let dummy_tx i =
+    Tx.make ~chain:"mp-prop"
+      ~inputs:[]
+      ~outputs:[ { Tx.addr = "nobody"; amount = coin 1 } ]
+      ~fee:(coin 1) ~nonce:(Int64.of_int i) ()
+  in
+  QCheck.Test.make ~name:"mempool candidates = arrival order" ~count:100
+    QCheck.(list (pair bool small_nat))
+    (fun ops ->
+      let mp = Mempool.create () in
+      (* model: txids in arrival order *)
+      let arrived = ref [] in
+      let counter = ref 0 in
+      List.iter
+        (fun (is_add, k) ->
+          if is_add || !arrived = [] then begin
+            let tx = dummy_tx !counter in
+            incr counter;
+            match Mempool.add mp tx with
+            | Ok () -> arrived := !arrived @ [ Tx.txid tx ]
+            | Error _ -> QCheck.Test.fail_report "fresh tx rejected"
+          end
+          else begin
+            let victim = List.nth !arrived (k mod List.length !arrived) in
+            Mempool.remove mp victim;
+            arrived := List.filter (fun id -> id <> victim) !arrived
+          end)
+        ops;
+      let got = List.map Tx.txid (Mempool.candidates mp ~limit:max_int) in
+      got = !arrived)
 
 (* --- End-to-end mining over the network ----------------------------------- *)
 
@@ -1047,7 +1085,11 @@ let () =
           Alcotest.test_case "confirmations" `Quick test_store_confirmations;
           Alcotest.test_case "headers_from" `Quick test_store_headers_from;
         ] );
-      ("mempool", [ Alcotest.test_case "order and dedup" `Quick test_mempool_order_and_dedup ]);
+      ( "mempool",
+        [
+          Alcotest.test_case "order and dedup" `Quick test_mempool_order_and_dedup;
+          QCheck_alcotest.to_alcotest qcheck_mempool_candidates_arrival_order;
+        ] );
       ( "e2e",
         [
           Alcotest.test_case "network convergence" `Slow test_network_convergence;

@@ -95,8 +95,8 @@ let qcheck_run_deterministic =
       let spec, plan = Plan.sample ~seed in
       List.for_all
         (fun protocol ->
-          let r1 = Runner.run_one ~spec ~plan ~protocol in
-          let r2 = Runner.run_one ~spec ~plan ~protocol in
+          let r1 = Runner.run_one ~spec ~plan ~protocol () in
+          let r2 = Runner.run_one ~spec ~plan ~protocol () in
           let t1 = Option.map trace_string r1.Runner.trace in
           let t2 = Option.map trace_string r2.Runner.trace in
           let c1 = Option.map trace_string r1.Runner.chaos_trace in

@@ -310,11 +310,38 @@ let test_stats_percentile () =
 let test_stats_histogram () =
   let xs = [ 0.5; 1.5; 1.6; 2.5; 9.9; -1.0; 10.0 ] in
   let h = Stats.histogram ~lo:0.0 ~hi:10.0 ~buckets:10 xs in
-  Alcotest.(check int) "bucket 0" 1 h.(0);
-  Alcotest.(check int) "bucket 1" 2 h.(1);
-  Alcotest.(check int) "bucket 2" 1 h.(2);
-  Alcotest.(check int) "bucket 9" 1 h.(9);
-  Alcotest.(check int) "total inside" 5 (Array.fold_left ( + ) 0 h)
+  Alcotest.(check int) "bucket 0" 1 h.Stats.counts.(0);
+  Alcotest.(check int) "bucket 1" 2 h.Stats.counts.(1);
+  Alcotest.(check int) "bucket 2" 1 h.Stats.counts.(2);
+  (* The boundary sample x = hi lands in the closed top bucket instead of
+     being silently dropped (regression). *)
+  Alcotest.(check int) "bucket 9 includes x = hi" 2 h.Stats.counts.(9);
+  Alcotest.(check int) "total inside" 6 (Array.fold_left ( + ) 0 h.Stats.counts);
+  Alcotest.(check int) "underflow visible" 1 h.Stats.underflow;
+  Alcotest.(check int) "overflow none" 0 h.Stats.overflow
+
+let test_stats_histogram_overflow () =
+  let h = Stats.histogram ~lo:0.0 ~hi:1.0 ~buckets:2 [ -0.1; 0.0; 0.5; 1.0; 1.1; nan ] in
+  Alcotest.(check int) "underflow" 1 h.Stats.underflow;
+  Alcotest.(check int) "overflow" 1 h.Stats.overflow;
+  Alcotest.(check int) "nans dropped but counted" 1 h.Stats.dropped_nans;
+  Alcotest.(check int) "in range" 3 (Array.fold_left ( + ) 0 h.Stats.counts)
+
+(* Regression: a NaN in the sample list used to be sorted with
+   polymorphic [compare], leaving the array in an unspecified order and
+   the percentiles garbage. The policy is now drop-and-count. *)
+let test_stats_nan_policy () =
+  let xs = [ 5.0; nan; 1.0; 4.0; nan; 2.0; 3.0 ] in
+  Alcotest.(check (float 1e-9)) "p50 ignores NaNs" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p99 ignores NaNs" 5.0 (Stats.percentile xs 99.0);
+  Alcotest.(check (float 1e-9)) "min ignores NaNs" 1.0 (Stats.minimum xs);
+  Alcotest.(check (float 1e-9)) "max ignores NaNs" 5.0 (Stats.maximum xs);
+  let s = Stats.summarize xs in
+  Alcotest.(check int) "valid count" 5 s.Stats.count;
+  Alcotest.(check int) "dropped count" 2 s.Stats.nans;
+  Alcotest.(check (float 1e-9)) "summary mean over valid" 3.0 s.Stats.mean;
+  Alcotest.(check bool) "all-NaN -> NaN" true (Float.is_nan (Stats.percentile [ nan; nan ] 50.0));
+  Alcotest.(check bool) "empty -> NaN" true (Float.is_nan (Stats.maximum []))
 
 let test_stats_wilson () =
   let lo, hi = Stats.wilson_interval ~successes:0 ~trials:100 in
@@ -381,6 +408,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "histogram overflow/underflow" `Quick test_stats_histogram_overflow;
+          Alcotest.test_case "NaN drop policy" `Quick test_stats_nan_policy;
           Alcotest.test_case "wilson interval" `Quick test_stats_wilson;
           QCheck_alcotest.to_alcotest qcheck_stats_mean_bounds;
         ] );
