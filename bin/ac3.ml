@@ -6,6 +6,7 @@
      ac3 analyze  — print the paper's analytical models (Sec 6)
      ac3 attack   — run 51% witness-attack races (Sec 6.3)
      ac3 chaos    — seeded fault-injection sweeps with the atomicity oracle
+     ac3 lint     — determinism & parallel-safety analysis of the repo's own sources
      ac3 metrics  — run one instrumented swap and print the metrics snapshot
 
    Examples:
@@ -51,6 +52,25 @@ let jobs_arg =
         ~doc:
           "Worker domains for the sweep (default: the hardware's domain count; 1 = sequential). \
            Output is byte-identical for every value.")
+
+(* --sanitize on the pool-backed subcommands: spot-check the
+   determinism contract by re-executing sampled tasks and comparing
+   result fingerprints (Ac3_par.Pool). A divergence exits 4. *)
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Re-execute a sample of the parallel tasks sequentially and compare result \
+           fingerprints; exit 4 if any task is not idempotent (cross-task mutable \
+           interference).")
+
+let sanitize_failure ~index ~first ~rerun =
+  Fmt.epr
+    "sanitize: task %d diverged on sequential rerun@.  parallel: %s@.  rerun:    %s@.  a task's \
+     result depends on mutable state another task wrote — the determinism contract is broken@."
+    index first rerun;
+  4
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -292,23 +312,6 @@ let print_section ~quiet (name, diags) =
   List.iter (fun d -> Fmt.pr "   %a@." Diagnostic.pp d) shown;
   errors <> []
 
-let sections_to_json sections =
-  let section_json (name, diags) =
-    Json.Obj
-      [
-        ("name", Json.String name);
-        ("ok", Json.Bool (not (Diagnostic.has_errors diags)));
-        ("diagnostics", Json.List (List.map Diagnostic.to_json diags));
-      ]
-  in
-  Json.Obj
-    [
-      ( "ok",
-        Json.Bool (List.for_all (fun (_, diags) -> not (Diagnostic.has_errors diags)) sections)
-      );
-      ("sections", Json.List (List.map section_json sections));
-    ]
-
 let run_verify protocol scenario parties delta slack max_nodes json quiet =
   let herlihy_over scenarios =
     List.map
@@ -352,7 +355,7 @@ let run_verify protocol scenario parties delta slack max_nodes json quiet =
   in
   let sections = List.map (fun (name, diags) -> (name, Diagnostic.dedupe diags)) sections in
   if json then begin
-    print_string (Json.to_string_pretty (sections_to_json sections));
+    print_string (Json.to_string_pretty (Diagnostic.sections_to_json sections));
     print_newline ();
     if List.exists (fun (_, diags) -> Diagnostic.has_errors diags) sections then 2 else 0
   end
@@ -575,7 +578,7 @@ let chaos_shrink ~seed ~protocol ~jobs ~out ~metrics_out ~trace_out =
       | None -> ());
       0
 
-let run_chaos seed runs protocol replay shrink out jobs verbose metrics_out trace_out =
+let run_chaos seed runs protocol replay shrink out jobs sanitize verbose metrics_out trace_out =
   match replay with
   | Some path -> chaos_replay ~jobs ~metrics_out ~trace_out path
   | None ->
@@ -583,10 +586,13 @@ let run_chaos seed runs protocol replay shrink out jobs verbose metrics_out trac
       else begin
         let protocols = match protocol with Some p -> [ p ] | None -> Runner.all_protocols in
         let on_report = if verbose then Some report_line else None in
-        let summary = Runner.sweep ~protocols ?on_report ~jobs ~seed ~runs () in
-        export_obs ?metrics_out ?trace_out summary.Runner.obs;
-        Fmt.pr "%a@." Runner.pp_summary summary;
-        if summary.Runner.unexplained_failures > 0 then 3 else 0
+        match Runner.sweep ~protocols ?on_report ~jobs ~sanitize ~seed ~runs () with
+        | summary ->
+            export_obs ?metrics_out ?trace_out summary.Runner.obs;
+            Fmt.pr "%a@." Runner.pp_summary summary;
+            if summary.Runner.unexplained_failures > 0 then 3 else 0
+        | exception Pool.Interference { index; first; rerun } ->
+            sanitize_failure ~index ~first ~rerun
       end
 
 let chaos_cmd =
@@ -620,8 +626,8 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:"Deterministic fault-injection sweeps: seeded plans, atomicity oracle, shrinking")
     Term.(
-      const run_chaos $ seed $ runs $ protocol $ replay $ shrink $ out $ jobs_arg $ verbose
-      $ metrics_out_arg $ trace_out_arg)
+      const run_chaos $ seed $ runs $ protocol $ replay $ shrink $ out $ jobs_arg $ sanitize_arg
+      $ verbose $ metrics_out_arg $ trace_out_arg)
 
 (* --- check -------------------------------------------------------------------- *)
 
@@ -688,8 +694,8 @@ let check_stats_json (s : MC.stats) =
       ("truncated", Json.Bool s.MC.truncated);
     ]
 
-let run_check protocol scenario parties delta slack crashes max_nodes json export seed jobs quiet
-    metrics_out trace_out =
+let run_check protocol scenario parties delta slack crashes max_nodes json export seed jobs
+    sanitize quiet metrics_out trace_out =
   let config =
     { MC.delta; timelock_slack = slack; start_time = 0.0; max_nodes; crash_budget = crashes }
   in
@@ -706,8 +712,8 @@ let run_check protocol scenario parties delta slack crashes max_nodes json expor
           (fun p -> List.map (fun s -> (p, s)) (default_scenarios p))
           [ MC.Herlihy; MC.Nolan; MC.Ac3wn ]
   in
-  let results =
-    Pool.map ~jobs
+  match
+    Pool.map ~jobs ~sanitize
       (fun (p, s) ->
         let spec = check_spec ~scenario:s ~parties ~seed in
         let ids = S.identities ~ns:"check" spec.Plan.parties in
@@ -715,7 +721,9 @@ let run_check protocol scenario parties delta slack crashes max_nodes json expor
         let report = MC.check ~config ~protocol:p ~graph in
         (p, s, spec, report))
       pairs
-  in
+  with
+  | exception Pool.Interference { index; first; rerun } -> sanitize_failure ~index ~first ~rerun
+  | results ->
   Option.iter (fun path -> export_counterexample ~path results) export;
   let section_name p s = Printf.sprintf "%s model (%s)" (MC.protocol_name p) (scenario_name s) in
   let ok = List.for_all (fun (_, _, _, r) -> MC.ok r) results in
@@ -742,16 +750,14 @@ let run_check protocol scenario parties delta slack crashes max_nodes json expor
     let sections =
       List.map
         (fun (p, s, _, r) ->
-          Json.Obj
-            [
-              ("name", Json.String (section_name p s));
-              ("protocol", Json.String (MC.protocol_name p));
-              ("scenario", Json.String (scenario_name s));
-              ("ok", Json.Bool (MC.ok r));
-              ("stats", check_stats_json r.MC.stats);
-              ( "diagnostics",
-                Json.List (List.map Diagnostic.to_json (Diagnostic.dedupe r.MC.diagnostics)) );
-            ])
+          Diagnostic.section_to_json ~name:(section_name p s)
+            ~extra:
+              [
+                ("protocol", Json.String (MC.protocol_name p));
+                ("scenario", Json.String (scenario_name s));
+                ("stats", check_stats_json r.MC.stats);
+              ]
+            (Diagnostic.dedupe r.MC.diagnostics))
         results
     in
     print_string
@@ -826,7 +832,87 @@ let check_cmd =
           expiries and crash faults, and emit replayable counterexamples")
     Term.(
       const run_check $ protocol $ scenario $ parties $ delta $ slack $ crashes $ max_nodes $ json
-      $ export $ seed $ jobs_arg $ quiet $ metrics_out_arg $ trace_out_arg)
+      $ export $ seed $ jobs_arg $ sanitize_arg $ quiet $ metrics_out_arg $ trace_out_arg)
+
+(* --- lint ------------------------------------------------------------------- *)
+
+module Lint = Ac3_lint.Lint
+module Lint_baseline = Ac3_lint.Baseline
+
+(* Static analysis over the repo's own sources: determinism and
+   parallel-safety rules D001-D008. Same output conventions as verify:
+   one section, Diagnostic rendering, shared --json schema, exit 2 on
+   any unsuppressed finding. *)
+let run_lint root roots baseline_path no_baseline update_baseline json quiet =
+  let roots = if roots = [] then Lint.default_roots else roots in
+  let baseline =
+    if no_baseline || update_baseline then Lint_baseline.empty
+    else Lint_baseline.load (Filename.concat root baseline_path)
+  in
+  let outcome = Lint.run ~baseline ~roots ~root () in
+  if update_baseline then begin
+    let path = Filename.concat root baseline_path in
+    Lint_baseline.save path (Lint_baseline.of_findings outcome.Lint.findings);
+    Fmt.pr "lint: baseline of %d finding(s) written to %s@."
+      (List.length outcome.Lint.findings)
+      path;
+    0
+  end
+  else begin
+    let name = Printf.sprintf "lint (%s)" (String.concat " " roots) in
+    let diags = outcome.Lint.findings @ outcome.Lint.notes in
+    if json then begin
+      print_string (Json.to_string_pretty (Diagnostic.sections_to_json [ (name, diags) ]));
+      print_newline ()
+    end
+    else begin
+      ignore (print_section ~quiet (name, diags));
+      Fmt.pr "@.lint: %d file(s), %d finding(s), %d suppressed, %d baselined@."
+        outcome.Lint.files
+        (List.length outcome.Lint.findings)
+        outcome.Lint.suppressed outcome.Lint.baselined
+    end;
+    if Lint.ok outcome then 0 else 2
+  end
+
+let lint_cmd =
+  let root =
+    Arg.(
+      value & opt dir "."
+      & info [ "root" ] ~docv:"DIR" ~doc:"Repository checkout to scan (default: the current directory).")
+  in
+  let roots =
+    Arg.(
+      value & opt_all string []
+      & info [ "under" ] ~docv:"DIR"
+          ~doc:"Subtrees to scan, relative to $(b,--root) (default: lib and bin; repeatable).")
+  in
+  let baseline =
+    Arg.(
+      value & opt string "LINT_BASELINE"
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Baseline of accepted findings, relative to $(b,--root).")
+  in
+  let no_baseline =
+    Arg.(value & flag & info [ "no-baseline" ] ~doc:"Report baselined findings too.")
+  in
+  let update_baseline =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:"Rewrite the baseline to exactly the current unsuppressed findings and exit 0.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output with stable field order.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Hide info-level diagnostics.") in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze the repo's own OCaml sources for determinism and parallel-safety \
+          violations (rules D001-D008)")
+    Term.(
+      const run_lint $ root $ roots $ baseline $ no_baseline $ update_baseline $ json $ quiet)
 
 (* --- metrics ---------------------------------------------------------------- *)
 
@@ -892,4 +978,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ac3" ~doc)
-          [ swap_cmd; verify_cmd; check_cmd; analyze_cmd; attack_cmd; chaos_cmd; metrics_cmd ]))
+          [ swap_cmd; verify_cmd; check_cmd; lint_cmd; analyze_cmd; attack_cmd; chaos_cmd; metrics_cmd ]))

@@ -60,7 +60,10 @@ let register registry (module C : CODE) =
 
 let find registry code_id = Hashtbl.find_opt registry code_id
 
-let code_ids registry = Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+(* Sorted so listings and digests over the registry are stable. *)
+let code_ids registry =
+  (* ac3-lint: allow D001 — unique code-id keys; sorted by String.compare below *)
+  Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort String.compare
 
 (* Contract instance ids are derived from the deploying transaction, so
    they are unique and predictable from the deployment. *)

@@ -53,19 +53,28 @@ let contract t id = Hashtbl.find_opt t.contracts id
 let utxo_count t = Outpoint.Table.length t.utxos
 
 let balance_of t addr =
+  (* ac3-lint: allow D001 — commutative sum over amounts; fold order cannot change the total *)
   Outpoint.Table.fold
     (fun _ (o : Tx.output) acc -> if String.equal o.addr addr then Amount.(acc + o.amount) else acc)
     t.utxos Amount.zero
 
+(* Sorted by outpoint so callers (wallet coin selection, experiment
+   reports) observe the same order on every run. *)
 let utxos_of t addr =
+  (* ac3-lint: allow D001 — unique outpoint keys; sorted by Outpoint.compare below *)
   Outpoint.Table.fold
     (fun op (o : Tx.output) acc -> if String.equal o.addr addr then (op, o) :: acc else acc)
     t.utxos []
+  |> List.sort (fun (a, _) (b, _) -> Outpoint.compare a b)
 
 (* Total value in circulation: UTXOs plus contract balances. The
    conservation property tests check this only grows by block rewards. *)
 let total_supply t =
-  let utxo_sum = Outpoint.Table.fold (fun _ (o : Tx.output) acc -> Amount.(acc + o.amount)) t.utxos Amount.zero in
+  let utxo_sum =
+    (* ac3-lint: allow D001 — commutative sum over amounts *)
+    Outpoint.Table.fold (fun _ (o : Tx.output) acc -> Amount.(acc + o.amount)) t.utxos Amount.zero
+  in
+  (* ac3-lint: allow D001 — commutative sum over amounts *)
   Hashtbl.fold (fun _ c acc -> Amount.(acc + c.balance)) t.contracts utxo_sum
 
 (* --- Transaction validation and execution --------------------------- *)
@@ -369,6 +378,7 @@ let state_digest t =
   let w = Codec.Writer.create () in
   Codec.Writer.int w t.height;
   let utxos =
+    (* ac3-lint: allow D001 — unique outpoint keys; sorted by Outpoint.compare below *)
     Outpoint.Table.fold (fun op o acc -> (op, o) :: acc) t.utxos []
     |> List.sort (fun (a, _) (b, _) -> Outpoint.compare a b)
   in
@@ -379,6 +389,7 @@ let state_digest t =
       Amount.encode w o.amount)
     utxos;
   let contracts =
+    (* ac3-lint: allow D001 — unique contract-id keys; sorted by String.compare below *)
     Hashtbl.fold (fun id c acc -> (id, c) :: acc) t.contracts []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in

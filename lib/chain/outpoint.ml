@@ -20,6 +20,7 @@ let compare a b =
   let c = String.compare a.txid b.txid in
   if c <> 0 then c else Int.compare a.index b.index
 
+(* ac3-lint: allow D005 — immutable string*int pair: no floats, no mutable fields, depth 1 *)
 let hash t = Hashtbl.hash (t.txid, t.index)
 
 let pp ppf t = Fmt.pf ppf "%s:%d" (Hex.short t.txid) t.index
@@ -36,6 +37,7 @@ let decode r =
 module Map = Map.Make (struct
   type nonrec t = t
 
+  (* ac3-lint: allow D005 — aliases the typed Outpoint.compare above, not Stdlib.compare *)
   let compare = compare
 end)
 

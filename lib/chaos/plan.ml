@@ -104,7 +104,7 @@ let time_of_fault = function
   | Witness_outage { at; _ } -> at
 
 let sort_by_time faults =
-  List.stable_sort (fun a b -> compare (time_of_fault a) (time_of_fault b)) faults
+  List.stable_sort (fun a b -> Float.compare (time_of_fault a) (time_of_fault b)) faults
 
 (* ------------------------------------------------------------------ *)
 (* Seeded sampling *)

@@ -211,10 +211,39 @@ let run_one ?instrument ~spec ~plan ~protocol () =
       finish ~trace:result.Ac3wn.trace
         (Verdict (Oracle.check ~universe ~graph ~contracts:result.Ac3wn.contracts ~static:Witness))
 
+(* Fingerprint of everything observable about a report. Reports hold
+   closures and custom blocks (obs contexts, traces), so the generic
+   Marshal fingerprint would degrade to physical-identity hashes; this
+   renders the decision-relevant content instead: protocol, plan,
+   outcome, and the full metrics registry (whose JSON is emitted in
+   sorted key order, hence stable). *)
+let report_fingerprint r =
+  let exec =
+    match r.exec with
+    | Verdict v ->
+        Printf.sprintf "verdict pass=%b atomic=%b committed=%b lost=%b settled=%b absorbing=%b static=%d"
+          v.Oracle.pass v.Oracle.atomic v.Oracle.committed v.Oracle.deposit_lost v.Oracle.settled
+          v.Oracle.absorbing
+          (List.length v.Oracle.static_errors)
+    | Rejected msg -> "rejected " ^ msg
+    | Skipped msg -> "skipped " ^ msg
+  in
+  String.concat "|"
+    [
+      protocol_name r.protocol; Plan.to_string r.plan; exec;
+      Ac3_crypto.Codec.Json.to_string (Metrics.to_json r.obs.Obs.metrics);
+    ]
+
 (* Protocols are independent runs over universes rebuilt from the same
-   spec, so they parallelize; collection preserves protocol order. *)
-let run_all ?(protocols = all_protocols) ?(jobs = 1) ?instrument ~spec ~plan () =
-  Pool.map ~jobs (fun protocol -> run_one ?instrument ~spec ~plan ~protocol ()) protocols
+   spec, so they parallelize; collection preserves protocol order.
+   [sanitize] re-executes sampled runs and compares report fingerprints
+   — sound here because every run rebuilds its universe and identities
+   from the spec seed alone. *)
+let run_all ?(protocols = all_protocols) ?(jobs = 1) ?(sanitize = false) ?instrument ~spec ~plan ()
+    =
+  Pool.map ~jobs ~sanitize ~fingerprint:report_fingerprint
+    (fun protocol -> run_one ?instrument ~spec ~plan ~protocol ())
+    protocols
 
 (* ------------------------------------------------------------------ *)
 (* Sweeps *)
@@ -280,10 +309,13 @@ let tally c = function
    the sequential (run, protocol) order; the summary and every
    [on_report] callback are therefore byte-identical for every [jobs]
    (locked in by test/test_par.ml). *)
-let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ?(instrument = true) ~seed ~runs ()
-    =
+let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ?(instrument = true)
+    ?(sanitize = false) ~seed ~runs () =
+  let sweep_task_fingerprint (run_seed, reports) =
+    String.concat "\n" (string_of_int run_seed :: List.map report_fingerprint reports)
+  in
   let reports_by_run =
-    Pool.run ~jobs
+    Pool.run ~jobs ~sanitize ~fingerprint:sweep_task_fingerprint
       (List.init runs (fun k () ->
            let run_seed = seed + k in
            let spec, plan = Plan.sample ~seed:run_seed in

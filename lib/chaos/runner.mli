@@ -59,10 +59,15 @@ val run_one :
   ?instrument:bool -> spec:Plan.spec -> plan:Plan.t -> protocol:protocol -> unit -> report
 
 (** [jobs] runs the protocols on an [Ac3_par.Pool]; results keep
-    protocol order and are identical for every value (default 1). *)
+    protocol order and are identical for every value (default 1).
+    [sanitize] (default [false]) re-executes sampled runs sequentially
+    and compares report fingerprints, raising
+    [Ac3_par.Pool.Interference] on divergence — sound because each run
+    rebuilds its universe and identities from the spec seed alone. *)
 val run_all :
   ?protocols:protocol list ->
   ?jobs:int ->
+  ?sanitize:bool ->
   ?instrument:bool ->
   spec:Plan.spec ->
   plan:Plan.t ->
@@ -99,12 +104,18 @@ type summary = {
     report in sequential (run, protocol) order — even under [jobs > 1],
     where runs execute on an [Ac3_par.Pool] but tallying and callbacks
     happen afterwards over the order-preserved results, so the summary
-    is byte-identical for every [jobs] value (default 1). *)
+    is byte-identical for every [jobs] value (default 1).
+
+    [sanitize] spot-checks the pool's isolation contract: sampled runs
+    are re-executed after the sweep and their report fingerprints
+    compared, raising [Ac3_par.Pool.Interference] with the offending
+    run index on divergence. *)
 val sweep :
   ?protocols:protocol list ->
   ?on_report:(report -> unit) ->
   ?jobs:int ->
   ?instrument:bool ->
+  ?sanitize:bool ->
   seed:int ->
   runs:int ->
   unit ->

@@ -25,6 +25,14 @@ val create : ?height:int -> string -> t
     that must not share signature-counter state. *)
 val fresh : ?height:int -> string -> t
 
+(** Test-only: [true] restores the unlocked memo-table path from before
+    the mutex fix, in which domains racing a cold label can be handed
+    distinct secret objects with independent signature counters. Exists
+    solely so the [Ac3_par.Pool] interference sanitizer's self-test can
+    reintroduce that bug and prove it is detected. Never set this
+    outside tests. *)
+val test_only_unlocked_cache : bool ref
+
 val label : t -> string
 
 val public : t -> public

@@ -22,7 +22,7 @@ let extend t identity =
   { t with parts = t.parts @ [ (Keys.public identity, Keys.sign identity t.message) ] }
 
 let verify ~expected_signers t =
-  let sorted l = List.sort compare l in
+  let sorted l = List.sort String.compare l in
   sorted (List.map fst t.parts) = sorted expected_signers
   && List.for_all (fun (pk, s) -> Keys.verify pk t.message s) t.parts
 

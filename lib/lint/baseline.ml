@@ -1,0 +1,50 @@
+(* Committed baseline of accepted findings.
+
+   The baseline is the blunt instrument next to inline suppressions: a
+   fingerprint per accepted finding, checked in at the repo root, so
+   `ac3 lint` can gate CI from day one while historic debt is paid
+   down. Fingerprints are line-independent (rule, file, message) so
+   unrelated edits above a finding do not invalidate entries; the cost
+   is that identical findings in one file share an entry, which is
+   documented and acceptable for a shrink-only file. *)
+
+module Diagnostic = Ac3_verify.Diagnostic
+
+type t = string list
+
+let empty : t = []
+
+(* Drop the ":line" tail of a "path:line" location. *)
+let file_of_location loc =
+  match String.rindex_opt loc ':' with
+  | Some i when i + 1 < String.length loc && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub loc (i + 1) (String.length loc - i - 1)) ->
+      String.sub loc 0 i
+  | _ -> loc
+
+let fingerprint (d : Diagnostic.t) =
+  Printf.sprintf "%s\t%s\t%s" d.Diagnostic.rule (file_of_location d.Diagnostic.location)
+    d.Diagnostic.message
+
+let mem (t : t) d = List.mem (fingerprint d) t
+
+let of_findings ds = List.sort_uniq String.compare (List.map fingerprint ds)
+let size = List.length
+
+let header =
+  [
+    "# ac3 lint baseline: one accepted finding per line, <rule>\\t<file>\\t<message>.";
+    "# Regenerate with `ac3 lint --update-baseline`; shrink-only — new findings";
+    "# must be fixed or carry an inline allow-suppression with a reason.";
+  ]
+
+let to_string (t : t) = String.concat "\n" (header @ List.sort String.compare t) ^ "\n"
+
+let of_string s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "" && l.[0] <> '#')
+
+let load path = if Sys.file_exists path then of_string (Source.read_file path) else empty
+
+let save path t =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc (to_string t))

@@ -1,0 +1,29 @@
+(** Committed baseline of accepted findings.
+
+    Fingerprints are line-independent — (rule, file, message) — so
+    edits elsewhere in a file do not invalidate entries. The file
+    format is one fingerprint per line with [#] comments; entries
+    should only ever be removed ([ac3 lint] refuses nothing, but the
+    review convention is shrink-only). *)
+
+type t
+
+val empty : t
+
+val fingerprint : Ac3_verify.Diagnostic.t -> string
+
+val mem : t -> Ac3_verify.Diagnostic.t -> bool
+
+val of_findings : Ac3_verify.Diagnostic.t list -> t
+
+(** Number of distinct fingerprints. *)
+val size : t -> int
+
+val to_string : t -> string
+
+val of_string : string -> t
+
+(** Missing file loads as {!empty}. *)
+val load : string -> t
+
+val save : string -> t -> unit

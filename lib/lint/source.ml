@@ -1,0 +1,51 @@
+(* Source discovery and parsing for the lint pass.
+
+   Files are discovered with a sorted recursive walk (the linter obeys
+   its own D006) and parsed with the compiler's own frontend
+   (compiler-libs [Parse.implementation]), so the parsetree the rules
+   walk is exactly what the compiler sees. *)
+
+let is_ml name = Filename.check_suffix name ".ml"
+
+let skip_entry name =
+  String.length name = 0 || name.[0] = '.' || name.[0] = '_' (* _build and friends *)
+
+let rec walk acc dir =
+  let entries = List.sort String.compare (Array.to_list (Sys.readdir dir)) in
+  List.fold_left
+    (fun acc name ->
+      if skip_entry name then acc
+      else
+        let p = Filename.concat dir name in
+        match Sys.is_directory p with
+        | true -> walk acc p
+        | false -> if is_ml name then p :: acc else acc
+        | exception Sys_error _ -> acc)
+    acc entries
+
+(* Every .ml under [roots], sorted; roots that do not exist are skipped
+   (a fixture tree may only provide some of them). *)
+let ml_files ~roots =
+  let files =
+    List.fold_left
+      (fun acc root -> if Sys.file_exists root && Sys.is_directory root then walk acc root else acc)
+      [] roots
+  in
+  List.sort String.compare files
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse with the compiler frontend. The lexbuf position is seeded with
+   [relpath] so every location the rules report carries the
+   repo-relative file name. *)
+let parse ~relpath source =
+  let lexbuf = Lexing.from_string source in
+  lexbuf.Lexing.lex_curr_p <-
+    { Lexing.pos_fname = relpath; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn -> Error (Printexc.to_string exn)

@@ -1,0 +1,13 @@
+(** Source discovery and parsing for the lint pass. *)
+
+(** Every [.ml] file under [roots], recursively, in sorted path order.
+    Dotfiles and [_]-prefixed entries ([_build]) are skipped; roots that
+    do not exist are ignored. *)
+val ml_files : roots:string list -> string list
+
+val read_file : string -> string
+
+(** Parse one compilation unit with the compiler frontend
+    (compiler-libs). Locations carry [relpath] as the file name.
+    [Error] is the exception text for files that do not parse. *)
+val parse : relpath:string -> string -> (Parsetree.structure, string) result

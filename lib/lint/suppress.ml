@@ -1,0 +1,112 @@
+(* Inline suppression directives.
+
+   A justified rule hit is silenced with a comment on the offending
+   line or on the line directly above it: the marker [ac3-lint] and a
+   colon, then [allow D001 — the fold is a commutative sum] (several
+   rules comma-separate). The examples here spell the marker out in
+   prose because this very file is scanned by the linter.
+
+   The reason is mandatory: a directive without one is itself a D000
+   error, so the repo can never accumulate bare waivers. Directives
+   that suppress nothing are reported as D000 warnings — they are
+   stale the moment the code they excused is fixed. *)
+
+module Diagnostic = Ac3_verify.Diagnostic
+
+type directive = {
+  dir_line : int;
+  dir_rules : Rules.id list;
+  dir_reason : string;
+  mutable dir_hits : int;
+}
+
+(* Split so that scanning this very file does not see the marker as a
+   directive of its own. *)
+let marker = "ac3-lint" ^ ":"
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  go 0
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let strip_comma w =
+  if String.length w > 0 && w.[String.length w - 1] = ',' then String.sub w 0 (String.length w - 1)
+  else w
+
+(* Separator between the rule list and the reason: an em dash, a plain
+   dash, or a colon. (The em dash is three bytes of UTF-8 but a single
+   word after splitting.) *)
+let is_separator = function "\xe2\x80\x94" | "-" | "--" | ":" -> true | _ -> false
+
+let malformed ~relpath ~line fmt =
+  Diagnostic.error ~rule:Rules.meta_slug ~location:(Printf.sprintf "%s:%d" relpath line) fmt
+
+(* Parse the text after the marker on one line. The directive must fit
+   on the line; the comment closer and anything after it are ignored. *)
+let parse_directive ~relpath ~line rest =
+  let rest = match find_sub rest "*)" with Some i -> String.sub rest 0 i | None -> rest in
+  match words rest with
+  | "allow" :: tail ->
+      let rec take_rules acc = function
+        | w :: tl when Rules.of_code (strip_comma w) <> None ->
+            take_rules (Option.get (Rules.of_code (strip_comma w)) :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let rules, tail = take_rules [] tail in
+      let reason_words = List.filter (fun w -> not (is_separator w)) tail in
+      if rules = [] then
+        Error
+          (malformed ~relpath ~line
+             "suppression names no known rule: expected 'allow D00x[, D00y] — reason'")
+      else if reason_words = [] then
+        Error
+          (malformed ~relpath ~line
+             "suppression for %s carries no reason: every waiver must say why the rule does not \
+              apply"
+             (String.concat ", " (List.map Rules.code rules)))
+      else Ok { dir_line = line; dir_rules = rules; dir_reason = String.concat " " reason_words; dir_hits = 0 }
+  | _ ->
+      Error (malformed ~relpath ~line "unrecognized %s directive: expected 'allow D00x — reason'" marker)
+
+(* All directives in [source], plus a D000 error per malformed one. *)
+let scan ~relpath source =
+  let lines = String.split_on_char '\n' source in
+  let directives = ref [] and errors = ref [] in
+  List.iteri
+    (fun i line_text ->
+      match find_sub line_text marker with
+      | None -> ()
+      | Some idx -> (
+          let rest = String.sub line_text (idx + String.length marker) (String.length line_text - idx - String.length marker) in
+          match parse_directive ~relpath ~line:(i + 1) rest with
+          | Ok d -> directives := d :: !directives
+          | Error e -> errors := e :: !errors))
+    lines;
+  (List.rev !directives, List.rev !errors)
+
+(* A directive covers a finding on its own line or the line below it —
+   trailing-comment and comment-above styles respectively. *)
+let covers directives ~rule ~line =
+  List.find_opt
+    (fun d -> (d.dir_line = line || d.dir_line = line - 1) && List.mem rule d.dir_rules)
+    directives
+
+let mark_used d = d.dir_hits <- d.dir_hits + 1
+
+let unused_warnings ~relpath directives =
+  List.filter_map
+    (fun d ->
+      if d.dir_hits > 0 then None
+      else
+        Some
+          (Diagnostic.warning ~rule:Rules.meta_slug
+             ~location:(Printf.sprintf "%s:%d" relpath d.dir_line)
+             "suppression for %s matches no finding: delete it (reason was: %s)"
+             (String.concat ", " (List.map Rules.code d.dir_rules))
+             d.dir_reason))
+    directives

@@ -1,0 +1,29 @@
+(** Inline suppression directives:
+    [(* ac3-lint: allow D001, D005 — reason *)].
+
+    A directive silences findings for the listed rules on its own line
+    and on the line directly below it. The reason is mandatory
+    (malformed directives are D000 errors) and directives that match no
+    finding are reported as D000 warnings. *)
+
+type directive = {
+  dir_line : int;
+  dir_rules : Rules.id list;
+  dir_reason : string;
+  mutable dir_hits : int;  (** findings this directive silenced *)
+}
+
+(** All directives in a source, plus one D000 error per malformed
+    directive. *)
+val scan :
+  relpath:string -> string -> directive list * Ac3_verify.Diagnostic.t list
+
+(** The first directive covering (rule, line), if any. Does not mark it
+    used — callers decide with {!mark_used}. *)
+val covers : directive list -> rule:Rules.id -> line:int -> directive option
+
+val mark_used : directive -> unit
+
+(** One D000 warning per directive that silenced nothing. *)
+val unused_warnings :
+  relpath:string -> directive list -> Ac3_verify.Diagnostic.t list

@@ -96,7 +96,14 @@ let find_first t pred =
   let rec go id = if id >= t.n_nodes then None else if pred (node t id) then Some id else go (id + 1) in
   go 0
 
-let iter_succs t f = Hashtbl.iter (fun id out -> List.iter (fun (mv, tgt) -> f id mv tgt) out) t.succs
+(* Visit edges in ascending source-node id — node ids are dense 0..n-1,
+   so indexing beats hash-bucket order and keeps diagnostics stable. *)
+let iter_succs t f =
+  for id = 0 to t.n_nodes - 1 do
+    match Hashtbl.find_opt t.succs id with
+    | Some out -> List.iter (fun (mv, tgt) -> f id mv tgt) out
+    | None -> ()
+  done
 
 (* --- Settlement reachability under the recovery closure --------------- *)
 

@@ -81,7 +81,7 @@ let make ~protocol ~graph ~delta ~timelock_slack ~start_time ~crash_budget =
       | Ok assignments ->
           let arr = Array.of_list assignments in
           let deadlines =
-            List.sort_uniq compare (Array.to_list (Array.map (fun a -> a.Timelock.expiry) arr))
+            List.sort_uniq Float.compare (Array.to_list (Array.map (fun a -> a.Timelock.expiry) arr))
           in
           let rank expiry =
             let rec go i = function

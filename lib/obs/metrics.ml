@@ -154,12 +154,16 @@ let hist_snapshot h =
 
 (* --- Merge ------------------------------------------------------------ *)
 
+let compare_label (k1, v1) (k2, v2) =
+  match String.compare k1 k2 with 0 -> String.compare v1 v2 | c -> c
+
 let compare_key a b =
   match String.compare a.name b.name with
-  | 0 -> compare a.labels b.labels
+  | 0 -> List.compare compare_label a.labels b.labels
   | c -> c
 
 let sorted_items t =
+  (* ac3-lint: allow D001 — unique (name, labels) keys; sorted by compare_key below *)
   let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in
   List.sort (fun (a, _) (b, _) -> compare_key a b) items
 

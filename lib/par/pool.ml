@@ -12,6 +12,18 @@
 
 exception Nested
 
+exception Interference of { index : int; first : string; rerun : string }
+
+let () =
+  Printexc.register_printer (function
+    | Interference { index; first; rerun } ->
+        Some
+          (Printf.sprintf
+             "Ac3_par.Pool.Interference: task %d is not idempotent (parallel fingerprint %s, \
+              sequential rerun %s) — it reads mutable state another task wrote"
+             index first rerun)
+    | _ -> None)
+
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 (* SplitMix64: jump the state directly to [index] gammas past [root]
@@ -88,13 +100,62 @@ let run_uncounted ?jobs tasks =
       (Array.map (function Done v -> v | Pending | Raised _ -> assert false) slots)
   end
 
-let run ?jobs tasks =
+(* --- Interference sanitizer ----------------------------------------- *)
+
+(* The pool's determinism contract says tasks share no unsynchronized
+   mutable state. The sanitizer spot-checks that contract at runtime:
+   after the parallel batch drains, a sample of tasks is re-executed
+   sequentially in the calling domain and each rerun's result
+   fingerprint is compared against the parallel one. A task whose
+   result depends on what other tasks did to shared state (a consumed
+   counter, a polluted memo table) is not idempotent, so its rerun
+   diverges and the mismatch pinpoints the offending task index.
+
+   The check is one-sided: a mismatch is always a real contract
+   violation (or a task with inherent side effects, which the contract
+   also forbids), but a clean pass only covers the sampled indices and
+   the interleavings that actually happened. *)
+
+let max_samples = 16
+
+(* Up to [max_samples] evenly spaced indices, always including 0. *)
+let sample_indices n =
+  if n <= max_samples then List.init n Fun.id
+  else List.init max_samples (fun k -> k * n / max_samples)
+
+let fingerprint v =
+  match Marshal.to_string v [ Marshal.Closures ] with
+  | s -> Digest.to_hex (Digest.string s)
+  | exception _ -> (
+      (* ac3-lint: allow D005 — best-effort tag for unmarshalable values; sanitizer diagnostics only, never protocol state *)
+      match Hashtbl.hash v with
+      | h -> Printf.sprintf "unmarshalable:%d" h
+      | exception _ -> "unfingerprintable")
+
+let sanitize_results ~fingerprint:fp tasks results =
+  let firsts = Array.of_list results in
+  List.iter
+    (fun index ->
+      let first = fp firsts.(index) in
+      let rerun =
+        match tasks.(index) () with
+        | v -> fp v
+        | exception e -> "raised " ^ Printexc.to_string e
+      in
+      if not (String.equal first rerun) then raise (Interference { index; first; rerun }))
+    (sample_indices (Array.length firsts))
+
+let run ?jobs ?(sanitize = false) ?(fingerprint = fingerprint) tasks =
   count_batch (List.length tasks);
-  run_uncounted ?jobs tasks
+  let results = run_uncounted ?jobs tasks in
+  if sanitize then sanitize_results ~fingerprint (Array.of_list tasks) results;
+  results
 
-let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)
+let map ?jobs ?sanitize ?fingerprint f xs =
+  run ?jobs ?sanitize ?fingerprint (List.map (fun x () -> f x) xs)
 
-let mapi ?jobs f xs = run ?jobs (List.mapi (fun i x () -> f i x) xs)
+let mapi ?jobs ?sanitize ?fingerprint f xs =
+  run ?jobs ?sanitize ?fingerprint (List.mapi (fun i x () -> f i x) xs)
 
 (* Evaluate in index blocks of [jobs]: within a block every candidate
    runs (bounded speculation), across blocks we stop at the first block

@@ -25,6 +25,15 @@
     list instead. *)
 exception Nested
 
+(** Raised by {!run} under [~sanitize:true] when a re-executed task's
+    result fingerprint differs from the one recorded during the
+    parallel batch: task [index] is not idempotent, i.e. it observed
+    mutable state that other tasks (or its own first execution)
+    changed. A raise is always a real determinism-contract violation;
+    the absence of one only covers the sampled tasks and the
+    interleavings that actually happened. *)
+exception Interference of { index : int; first : string; rerun : string }
+
 (** Domains the hardware supports ([Domain.recommended_domain_count]),
     at least 1. The default for every [?jobs] argument below and for
     the CLI [--jobs] flag. *)
@@ -46,20 +55,45 @@ val split_seed : root:int -> index:int -> int
     jobs-dependent by nature and not tracked. *)
 val stats : unit -> int * int
 
+(** Digest of [Marshal.to_string v [Closures]]; falls back to a
+    [Hashtbl.hash] tag for unmarshalable values (custom blocks). The
+    default [?fingerprint] of {!run} — override it when results contain
+    abstract state whose identity (not content) would differ between
+    runs, e.g. closures capturing fresh refs. *)
+val fingerprint : 'a -> string
+
 (** [run ?jobs tasks] executes every thunk and returns the results in
     task order. If any task raises, the remaining tasks still run and
     the exception of the lowest-indexed failing task is re-raised (with
-    its backtrace) once all workers have drained. *)
-val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+    its backtrace) once all workers have drained.
+
+    [sanitize] (default [false]) re-executes up to 16 evenly spaced
+    tasks sequentially in the calling domain after the batch and
+    compares result fingerprints; a mismatch raises {!Interference}
+    with the lowest offending task index. Under the pool's determinism
+    contract tasks are idempotent — they rebuild their world from their
+    own seed — so the rerun is free of observable effects and any
+    divergence means cross-task mutable interference. *)
+val run :
+  ?jobs:int -> ?sanitize:bool -> ?fingerprint:('a -> string) -> (unit -> 'a) list -> 'a list
 
 (** [map ?jobs f xs] is [run ?jobs (List.map (fun x () -> f x) xs)]. *)
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?jobs:int -> ?sanitize:bool -> ?fingerprint:('b -> string) -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [mapi] is {!map} with the task index. *)
-val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+val mapi :
+  ?jobs:int ->
+  ?sanitize:bool ->
+  ?fingerprint:('b -> string) ->
+  (int -> 'a -> 'b) ->
+  'a list ->
+  'b list
 
 (** [first_success ?jobs thunks] is the first [Some] by task index, or
     [None] — the parallel equivalent of [List.find_map (fun f -> f ())].
     Candidates are evaluated speculatively in blocks of [jobs], so at
-    most [jobs - 1] thunks beyond the winning index are ever run. *)
+    most [jobs - 1] thunks beyond the winning index are ever run.
+    Never sanitized: which candidates execute is jobs-dependent by
+    design, so there is no stable batch to re-check against. *)
 val first_success : ?jobs:int -> (unit -> 'a option) list -> 'a option

@@ -22,8 +22,8 @@ type t = {
 }
 
 let compare_event a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
 
 let create () =
   { now = 0.0; next_seq = 0; queue = Heap.create compare_event; executed = 0 }

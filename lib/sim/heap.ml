@@ -7,11 +7,9 @@ type 'a t = {
   compare : 'a -> 'a -> int;
 }
 
-let create ?(capacity = 16) compare =
-  { data = [||]; size = 0; compare = (fun a b -> compare a b) }
-  |> fun h ->
+let create ?(capacity = 16) cmp =
   ignore capacity;
-  h
+  { data = [||]; size = 0; compare = cmp }
 
 let length h = h.size
 

@@ -53,6 +53,28 @@ let to_json d =
       ("message", Json.String d.message);
     ]
 
+(* The shared section schema for machine-readable output: verify, check
+   and lint all emit {ok, sections:[{name, ok, diagnostics}]} through
+   here, so downstream tooling parses one shape. Extra per-section
+   fields (check's exploration stats) splice in via [extra]. *)
+let section_to_json ?(extra = []) ~name ds =
+  let module Json = Ac3_crypto.Codec.Json in
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ok", Json.Bool (not (has_errors ds)));
+       ("diagnostics", Json.List (List.map to_json ds));
+     ]
+    @ extra)
+
+let sections_to_json sections =
+  let module Json = Ac3_crypto.Codec.Json in
+  Json.Obj
+    [
+      ("ok", Json.Bool (List.for_all (fun (_, ds) -> not (has_errors ds)) sections));
+      ("sections", Json.List (List.map (fun (name, ds) -> section_to_json ~name ds) sections));
+    ]
+
 let pp_severity ppf = function
   | Info -> Fmt.string ppf "info"
   | Warning -> Fmt.string ppf "warning"

@@ -139,6 +139,7 @@ let conservation_lints edges =
       let deltas =
         List.filter_map
           (fun ((p, chain), v) -> if String.equal p pk then Some (chain, v) else None)
+          (* ac3-lint: allow D001 — unique (participant, chain) keys; sorted by chain below *)
           (Hashtbl.fold (fun k v acc -> (k, v) :: acc) delta [])
       in
       let deltas = List.sort (fun (c1, _) (c2, _) -> String.compare c1 c2) deltas in
@@ -172,16 +173,19 @@ let capacity_lints ~block_capacity edges =
           let n = Option.value ~default:0 (Hashtbl.find_opt per_chain e.Ac2t.chain) in
           Hashtbl.replace per_chain e.Ac2t.chain (n + 1))
         edges;
-      Hashtbl.fold
-        (fun chain n acc ->
-          if n > cap then
-            Diagnostic.warning ~rule:"G008-chain-overload" ~location:(Fmt.str "chain %s" chain)
-              "%d sub-transactions on one chain exceed its block capacity (%d): deployment \
-               cannot complete in a single block"
-              n cap
-            :: acc
-          else acc)
-        per_chain []
+      (* Sorted by chain so the diagnostic order is stable run to run. *)
+      (* ac3-lint: allow D001 — unique chain keys; sorted by String.compare below *)
+      Hashtbl.fold (fun chain n acc -> (chain, n) :: acc) per_chain []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.filter_map (fun (chain, n) ->
+             if n > cap then
+               Some
+                 (Diagnostic.warning ~rule:"G008-chain-overload"
+                    ~location:(Fmt.str "chain %s" chain)
+                    "%d sub-transactions on one chain exceed its block capacity (%d): deployment \
+                     cannot complete in a single block"
+                    n cap)
+             else None)
 
 let lint ?(profile = Witness) ?block_capacity graph =
   let edges = Ac2t.edges graph in

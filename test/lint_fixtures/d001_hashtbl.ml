@@ -1,0 +1,10 @@
+(* Fixture: D001 unordered hashtable iteration. Parsed by the linter,
+   never compiled. *)
+
+let bad tbl = Hashtbl.iter (fun k v -> ignore (k, v)) tbl
+
+(* ac3-lint: allow D001 — fixture: a justified commutative fold *)
+let ok tbl = Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0
+
+(* Functorial tables are caught through the module-name heuristic. *)
+let bad_functorial tbl = Outpoint.Table.fold (fun _ _ acc -> acc) tbl []

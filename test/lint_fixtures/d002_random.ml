@@ -1,0 +1,6 @@
+(* Fixture: D002 ambient Random state. *)
+
+let bad () = Random.int 10
+
+(* ac3-lint: allow D002 — fixture: a justified draw *)
+let ok () = Random.float 1.0

@@ -1,0 +1,6 @@
+(* Fixture: D003 wall-clock reads outside bench/. *)
+
+let bad () = Unix.gettimeofday ()
+
+(* ac3-lint: allow D003 — fixture: a justified micro-benchmark *)
+let ok () = Sys.time ()

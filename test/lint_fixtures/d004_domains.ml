@@ -1,0 +1,6 @@
+(* Fixture: D004 domain primitives outside lib/par. *)
+
+let bad f = Domain.spawn f
+
+(* ac3-lint: allow D004 — fixture: a justified atomic counter *)
+let ok () = Atomic.make 0

@@ -1,0 +1,6 @@
+(* Fixture: D005 polymorphic compare / hash. *)
+
+let bad xs = List.sort compare xs
+
+(* ac3-lint: allow D005 — fixture: hashing an immutable pair *)
+let ok v = Hashtbl.hash v

@@ -1,0 +1,10 @@
+(* Fixture: D006 unsorted directory listing. *)
+
+let bad dir = Sys.readdir dir
+
+(* Nested anywhere inside a sort call's arguments: sanctioned, no
+   directive needed. *)
+let fine dir = List.sort String.compare (Array.to_list (Sys.readdir dir))
+
+(* ac3-lint: allow D006 — fixture: order handled by the caller *)
+let ok dir = Sys.readdir dir

@@ -1,0 +1,6 @@
+(* Fixture: D007 stdout printing from library code. *)
+
+let bad () = print_endline "hello"
+
+(* ac3-lint: allow D007 — fixture: a justified debug escape *)
+let ok x = Printf.printf "%d" x

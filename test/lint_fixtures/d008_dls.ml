@@ -1,0 +1,6 @@
+(* Fixture: D008 domain-local storage outside lib/par. *)
+
+let bad () = Domain.DLS.new_key (fun () -> 0)
+
+(* ac3-lint: allow D008 — fixture: a justified key *)
+let ok k = Domain.DLS.get k

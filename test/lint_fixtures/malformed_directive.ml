@@ -1,0 +1,4 @@
+(* Fixture: a directive without a reason is itself a D000 error. *)
+
+(* ac3-lint: allow D001 *)
+let bad tbl = Hashtbl.iter (fun _ _ -> ()) tbl

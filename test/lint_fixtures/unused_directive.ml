@@ -1,0 +1,4 @@
+(* Fixture: a directive that suppresses nothing is a D000 warning. *)
+
+(* ac3-lint: allow D002 — nothing here draws randomness *)
+let fine x = x + 1

@@ -256,6 +256,28 @@ let spend_premine store ~from_ ~to_ ~amount ~fee =
           ]
         ~fee ~nonce:0L ()
 
+(* Regression for the D001 fixes in utxos_of and code_ids: both are
+   sorted, so coin selection and registry listings cannot depend on
+   hash-bucket order. *)
+let test_ledger_utxos_sorted () =
+  let store = mk_store () in
+  for k = 1 to 4 do
+    let tx = spend_premine store ~from_:alice ~to_:bob ~amount:(coin (100 * k)) ~fee:(coin 100) in
+    let _, r = mine_into store [ tx ] in
+    expect_added r
+  done;
+  let utxos = Ledger.utxos_of (Store.ledger store) (Keys.address bob) in
+  Alcotest.(check bool) "bob accumulated several utxos" true (List.length utxos >= 4);
+  let rec check_sorted = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        Alcotest.(check bool) "strictly ascending outpoints" true (Outpoint.compare a b < 0);
+        check_sorted rest
+    | _ -> ()
+  in
+  check_sorted utxos;
+  let ids = Contract_iface.code_ids (test_registry ()) in
+  Alcotest.(check (list string)) "code ids sorted" (List.sort String.compare ids) ids
+
 let test_ledger_premine () =
   let store = mk_store () in
   let ledger = Store.ledger store in
@@ -1068,6 +1090,7 @@ let () =
       ( "ledger",
         [
           Alcotest.test_case "premine" `Quick test_ledger_premine;
+          Alcotest.test_case "utxos and code ids sorted" `Quick test_ledger_utxos_sorted;
           Alcotest.test_case "transfer and conservation" `Quick test_ledger_transfer_and_conservation;
           Alcotest.test_case "double spend rejected" `Quick test_ledger_rejects_double_spend;
           Alcotest.test_case "theft rejected" `Quick test_ledger_rejects_theft;

@@ -10,6 +10,7 @@
 
 module Checker = Ac3_model.Checker
 module Semantics = Ac3_model.Semantics
+module Explore = Ac3_model.Explore
 module Diagnostic = Ac3_verify.Diagnostic
 module Scenarios = Ac3_core.Scenarios
 module Plan = Ac3_chaos.Plan
@@ -204,6 +205,26 @@ let test_counterexample_replays () =
   Alcotest.(check bool) "reproducer replays" true
     (Repro.replay_ok (Repro.replay outcome.Model_repro.repro))
 
+(* Regression for the D001 fix in Explore.iter_succs: edges are visited
+   in ascending source-node id, not hash-bucket order, so downstream
+   diagnostics (M004) are stable. *)
+let test_iter_succs_ascending () =
+  match
+    Semantics.make ~protocol:Semantics.Ac3wn ~graph:(two_party ()) ~delta:15.0 ~timelock_slack:2.0
+      ~start_time:0.0 ~crash_budget:1
+  with
+  | Error e -> Alcotest.fail e
+  | Ok model ->
+      let t = Explore.run model in
+      let last = ref (-1) in
+      let edges = ref 0 in
+      Explore.iter_succs t (fun id _mv _tgt ->
+          incr edges;
+          if id < !last then
+            Alcotest.failf "source id %d visited after %d: not ascending" id !last;
+          last := id);
+      Alcotest.(check bool) "visited edges" true (!edges > 0)
+
 let () =
   Alcotest.run "model"
     [
@@ -221,6 +242,7 @@ let () =
         [
           Alcotest.test_case "deterministic, POR active" `Quick test_deterministic_and_por;
           Alcotest.test_case "truncation reported" `Quick test_truncation_reported;
+          Alcotest.test_case "iter_succs ascending" `Quick test_iter_succs_ascending;
         ] );
       ( "corpus",
         [ Alcotest.test_case "corpus verdicts predicted" `Quick test_corpus_predicted ] );

@@ -167,6 +167,74 @@ let test_keys_concurrent_create () =
         (Keys.address (Keys.create ~height:4 (label k))))
     a1
 
+(* --- interference sanitizer -------------------------------------------- *)
+
+(* Isolated tasks: each rebuilds its identity from its own label with a
+   full signature budget ([Keys.fresh]), the discipline every sweep in
+   this repo follows. Reruns reproduce the same result, so the
+   sanitizer stays silent at every jobs value. *)
+let test_sanitize_clean () =
+  List.iter
+    (fun jobs ->
+      let results =
+        Pool.run ~jobs ~sanitize:true
+          (List.init 12 (fun i () ->
+               let id = Keys.fresh ~height:4 (Printf.sprintf "sanitize-clean-%d" i) in
+               ignore (Keys.sign id "msg");
+               (Keys.address id, Keys.remaining_signatures id)))
+      in
+      Alcotest.(check int) "all results collected" 12 (List.length results);
+      List.iter
+        (fun (_, remaining) -> Alcotest.(check int) "full budget minus one" 15 remaining)
+        results)
+    jobs_values
+
+(* The resurrected PR-4 bug: with the unlocked memo path, tasks sharing
+   one label can be handed distinct secrets with independent signature
+   counters — and even when the race window is missed, they share ONE
+   memoized mutable counter across tasks. Either way a task's
+   remaining-signature count depends on what other executions did, so
+   the sequential rerun is strictly below every parallel observation
+   and the sanitizer must flag it with a task index. *)
+let test_sanitize_catches_keys_race () =
+  Keys.test_only_unlocked_cache := true;
+  Fun.protect
+    ~finally:(fun () -> Keys.test_only_unlocked_cache := false)
+    (fun () ->
+      let tasks =
+        List.init 8 (fun _ () ->
+            let id = Keys.create ~height:5 "sanitize-race" in
+            ignore (Keys.sign id "interference");
+            Keys.remaining_signatures id)
+      in
+      match Pool.run ~jobs:4 ~sanitize:true tasks with
+      | _ -> Alcotest.fail "sanitizer missed the shared signature counter"
+      | exception Pool.Interference { index; first; rerun } ->
+          Alcotest.(check bool) "offending index in range" true (index >= 0 && index < 8);
+          Alcotest.(check bool) "fingerprints differ" true (first <> rerun))
+
+(* Without ~sanitize the same interfering batch goes unnoticed — the
+   check is opt-in, not ambient. *)
+let test_sanitize_opt_in () =
+  Keys.test_only_unlocked_cache := true;
+  Fun.protect
+    ~finally:(fun () -> Keys.test_only_unlocked_cache := false)
+    (fun () ->
+      let results =
+        Pool.run ~jobs:4
+          (List.init 4 (fun _ () ->
+               let id = Keys.create ~height:5 "sanitize-race-quiet" in
+               ignore (Keys.sign id "interference");
+               Keys.remaining_signatures id))
+      in
+      Alcotest.(check int) "completes without sanitize" 4 (List.length results))
+
+(* A sanitized sweep passes: chaos runs rebuild universe and identities
+   from the run seed alone, so they are idempotent by construction. *)
+let test_sanitize_sweep_clean () =
+  let s = Runner.sweep ~jobs:3 ~sanitize:true ~seed:11 ~runs:2 () in
+  Alcotest.(check int) "sweep completes under sanitize" 2 s.Runner.sweep_runs
+
 (* --- chaos sweep: parallel == sequential ------------------------------- *)
 
 let verdict_string (r : Runner.report) =
@@ -318,6 +386,14 @@ let () =
       ( "keys",
         [ Alcotest.test_case "concurrent create never collides" `Quick test_keys_concurrent_create ]
       );
+      ( "sanitize",
+        [
+          Alcotest.test_case "isolated tasks pass at every jobs value" `Quick test_sanitize_clean;
+          Alcotest.test_case "reintroduced keys race is flagged" `Quick
+            test_sanitize_catches_keys_race;
+          Alcotest.test_case "check is opt-in" `Quick test_sanitize_opt_in;
+          Alcotest.test_case "sanitized sweep stays clean" `Quick test_sanitize_sweep_clean;
+        ] );
       ( "determinism",
         [
           QCheck_alcotest.to_alcotest ~long:true qcheck_sweep_jobs_equivalent;

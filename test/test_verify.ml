@@ -97,6 +97,27 @@ let test_lint_conservation_and_capacity () =
   Alcotest.(check bool) "capacity ok when it fits" false
     (has "G008-chain-overload" (Graph_lint.lint ~block_capacity:4 g3))
 
+(* Regression for the D001 fix in capacity_lints: overload warnings
+   come out in chain order, not hash-bucket order. *)
+let test_capacity_order_deterministic () =
+  let carol = Keys.create "verify-test-carol" in
+  let dave = Keys.create "verify-test-dave" in
+  let edges =
+    List.concat_map
+      (fun chain -> [ edge alice bob chain; edge ~amount:(coin 200) carol dave chain ])
+      [ "zeta"; "mid"; "alpha" ]
+  in
+  let g = Ac2t.create ~edges ~timestamp:1.0 in
+  let locations =
+    List.map
+      (fun d -> d.D.location)
+      (D.by_rule "G008-chain-overload" (Graph_lint.lint ~block_capacity:1 g))
+  in
+  Alcotest.(check (list string))
+    "overloaded chains reported in sorted order"
+    [ "chain alpha"; "chain mid"; "chain zeta" ]
+    locations
+
 (* --- Pass 2: timelock order ----------------------------------------------- *)
 
 let test_timelock_assign_matches_herlihy () =
@@ -320,6 +341,7 @@ let () =
           Alcotest.test_case "profiles split on Fig 7 (G005/G006)" `Quick test_lint_profiles;
           Alcotest.test_case "conservation and capacity (G007-G009)" `Quick
             test_lint_conservation_and_capacity;
+          Alcotest.test_case "G008 order is chain-sorted" `Quick test_capacity_order_deterministic;
         ] );
       ( "timelock",
         [
