@@ -7,8 +7,9 @@
      dune exec bench/main.exe -- quick   # skip the slowest sections
      dune exec bench/main.exe -- par     # only E13 (domain-pool scaling, 200 runs)
      dune exec bench/main.exe -- obs     # only E14 (observability overhead, 100 runs)
+     dune exec bench/main.exe -- load    # only E15 (load engine, 1000 swaps)
 
-   Experiment ids (E1..E14, A1, A2) are indexed in DESIGN.md and results
+   Experiment ids (E1..E15, A1, A2) are indexed in DESIGN.md and results
    are recorded in EXPERIMENTS.md. *)
 
 module E = Ac3_core.Experiment
@@ -504,6 +505,163 @@ let obs_overhead ~runs () =
   close_out oc;
   Fmt.pr "  results written to BENCH_obs.json@."
 
+(* --- E15: load engine throughput + contract-lookup scaling ----------------- *)
+
+module Load = Ac3_load.Engine
+module Workload = Ac3_load.Workload
+
+(* The committed gate: a 1000-swap open-loop workload through three
+   shared chains must sustain >= 100 swaps per wall-clock second end to
+   end — identity keygen, the shared-universe simulation, classification
+   and reporting all included. Saturating on purpose: 12 Zipf-skewed
+   users cannot absorb 8 swaps/s, so the run exercises outpoint
+   contention, mempool pressure and timelock expiry, not a warm idle
+   path. *)
+let load_bench_config =
+  {
+    Workload.default with
+    Workload.swaps = 1000;
+    users = 12;
+    chains = 3;
+    arrival = Workload.Open_loop { rate = 8.0 };
+    deadline = 200.0;
+  }
+
+(* Minimal contract for populating stores: deploys with Int state,
+   every call increments. *)
+module Bench_counter = struct
+  let code_id = "bench-counter"
+
+  let init _ctx args =
+    match args with Value.Int _ -> Ok args | _ -> Error "expected int argument"
+
+  let call _ctx ~state ~fn:_ ~args:_ =
+    match state with
+    | Value.Int n -> Contract_iface.ok (Value.Int (Int64.add n 1L))
+    | _ -> Contract_iface.reject "corrupt state"
+end
+
+(* Mean cost of one [find_call] + [calls_on] pair on a store holding
+   [contracts] contracts with one call each, in ns. Lookups are served
+   by the per-contract call index, so the cost must not scale with the
+   store's contract count. *)
+let contract_lookup_ns ~contracts =
+  let registry = Contract_iface.create_registry () in
+  Contract_iface.register registry (module Bench_counter : Contract_iface.CODE);
+  let owner = Keys.create "bench-load-lookup" in
+  let coin = Amount.of_int 1_000_000 in
+  let premine = List.init contracts (fun _ -> (Keys.address owner, coin)) in
+  let params =
+    Params.make "bench-lookup" ~pow_bits:0 ~block_capacity:(contracts + 1)
+      ~verify_signatures:false ~premine
+  in
+  let store = Store.create ~params ~registry in
+  let mine txs =
+    let parent = Store.tip store in
+    let height = parent.Block.header.Block.height + 1 in
+    let fees = Amount.sum (List.map (fun (tx : Tx.t) -> tx.Tx.fee) txs) in
+    let cb =
+      Tx.coinbase ~chain:"bench-lookup" ~height ~miner_addr:(Keys.address owner)
+        ~reward:Amount.(params.Params.block_reward + fees)
+    in
+    let b =
+      Block.mine ~chain:"bench-lookup" ~height ~parent:(Block.hash parent)
+        ~time:(float_of_int height) ~target:(Pow.target_of_bits 0) ~txs:(cb :: txs)
+    in
+    match Store.add_block store b with
+    | Store.Added _ -> ()
+    | Store.Duplicate | Store.Orphaned -> failwith "bench-lookup: block not added"
+    | Store.Invalid e -> failwith ("bench-lookup: invalid block: " ^ e)
+  in
+  let deploy_fee = params.Params.deploy_fee and call_fee = params.Params.call_fee in
+  let cb_txid = Tx.txid (List.hd (Store.genesis store).Block.txs) in
+  let deploys =
+    List.init contracts (fun i ->
+        Tx.make_unsigned ~chain:"bench-lookup"
+          ~inputs:[ (Outpoint.create ~txid:cb_txid ~index:i, Keys.public owner) ]
+          ~outputs:[ { Tx.addr = Keys.address owner; amount = Amount.(coin - deploy_fee) } ]
+          ~payload:
+            (Tx.Deploy { code_id = Bench_counter.code_id; args = Value.Int 0L; deposit = Amount.zero })
+          ~fee:deploy_fee ~nonce:(Int64.of_int i) ())
+  in
+  mine deploys;
+  let ids =
+    Array.of_list
+      (List.map (fun tx -> Contract_iface.contract_id_of_deploy ~txid:(Tx.txid tx)) deploys)
+  in
+  let calls =
+    List.mapi
+      (fun i deploy ->
+        Tx.make_unsigned ~chain:"bench-lookup"
+          ~inputs:[ (Outpoint.create ~txid:(Tx.txid deploy) ~index:0, Keys.public owner) ]
+          ~outputs:
+            [ { Tx.addr = Keys.address owner; amount = Amount.(coin - deploy_fee - call_fee) } ]
+          ~payload:
+            (Tx.Call { contract_id = ids.(i); fn = "incr"; args = Value.Unit; deposit = Amount.zero })
+          ~fee:call_fee
+          ~nonce:(Int64.of_int (contracts + i))
+          ())
+      deploys
+  in
+  mine calls;
+  let lookups = 100_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to lookups - 1 do
+    let cid = ids.(i * 7919 mod contracts) in
+    (match Store.find_call store ~contract_id:cid ~fn:"incr" with
+    | Some _ -> ()
+    | None -> failwith "bench-lookup: indexed call missing");
+    ignore (Store.calls_on store ~contract_id:cid)
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int lookups
+
+let load_bench () =
+  section "E15 / ac3 load — many-swap workload engine under contention";
+  Fmt.pr "1000 open-loop swaps, 12 Zipf users, 3 shared chains (+witness), mixed@.";
+  Fmt.pr "protocols; gate: >= 100 swaps per wall-clock second, end to end.@.@.";
+  let t0 = Unix.gettimeofday () in
+  let report, _ = Load.run ~seed:42 load_bench_config in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let swaps_per_sec = float_of_int report.Load.launched /. wall_s in
+  Fmt.pr "  launched %d: committed=%d aborted=%d timed_out=%d non_atomic=%d in_flight=%d@."
+    report.Load.launched report.Load.committed report.Load.aborted report.Load.timed_out
+    report.Load.non_atomic report.Load.in_flight;
+  Fmt.pr "  wall %.2f s  =>  %.1f swaps/s  (virtual throughput %.2f swaps/s over %.0f s)@."
+    wall_s swaps_per_sec report.Load.throughput report.Load.makespan;
+  (* The guard for the linear scans the call index replaced: the same
+     lookups on a 16x bigger contract store must stay far below the 16x
+     a rescan would cost. *)
+  let small_ns = contract_lookup_ns ~contracts:256 in
+  let large_ns = contract_lookup_ns ~contracts:4096 in
+  let ratio = if small_ns > 0.0 then large_ns /. small_ns else 0.0 in
+  let sublinear = ratio < 4.0 in
+  Fmt.pr "  contract lookup: %.0f ns @@ 256 contracts, %.0f ns @@ 4096 => ratio %.2f (linear ~16): %s@."
+    small_ns large_ns ratio
+    (if sublinear then "sublinear" else "NOT SUBLINEAR");
+  let oc = open_out_bin "BENCH_load.json" in
+  output_string oc
+    (Json.to_string_pretty
+       (Json.Obj
+          [
+            ("swaps", Json.Int report.Load.launched);
+            ("wall_s", Json.Float wall_s);
+            ("swaps_per_sec", Json.Float swaps_per_sec);
+            ("committed", Json.Int report.Load.committed);
+            ("aborted", Json.Int report.Load.aborted);
+            ("timed_out", Json.Int report.Load.timed_out);
+            ("non_atomic", Json.Int report.Load.non_atomic);
+            ("in_flight", Json.Int report.Load.in_flight);
+            ("makespan_virtual_s", Json.Float report.Load.makespan);
+            ("throughput_virtual", Json.Float report.Load.throughput);
+            ("lookup_256_ns", Json.Float small_ns);
+            ("lookup_4096_ns", Json.Float large_ns);
+            ("lookup_ratio", Json.Float ratio);
+            ("lookup_sublinear", Json.Bool sublinear);
+          ]));
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "  results written to BENCH_load.json@."
+
 let run_bechamel () =
   section "Bechamel micro-benchmarks (one kernel per table/figure)";
   let open Bechamel in
@@ -526,6 +684,7 @@ let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let par_only = Array.exists (fun a -> a = "par") Sys.argv in
   let obs_only = Array.exists (fun a -> a = "obs") Sys.argv in
+  let load_only = Array.exists (fun a -> a = "load") Sys.argv in
   Fmt.pr "AC3WN reproduction benchmark harness (seeded, deterministic).@.";
   Fmt.pr "Δ = %.0f virtual seconds (confirm depth %d x %.0f s blocks) in protocol runs.@."
     E.delta E.confirm_depth E.block_interval;
@@ -536,6 +695,11 @@ let () =
   end;
   if obs_only then begin
     obs_overhead ~runs:100 ();
+    Fmt.pr "@.Done.@.";
+    exit 0
+  end;
+  if load_only then begin
+    load_bench ();
     Fmt.pr "@.Done.@.";
     exit 0
   end;
@@ -554,5 +718,6 @@ let () =
   model_check ();
   if not quick then par_scaling ~runs:50 ();
   if not quick then obs_overhead ~runs:50 ();
+  if not quick then load_bench ();
   run_bechamel ();
   Fmt.pr "@.Done.@."

@@ -6,6 +6,7 @@
      ac3 analyze  — print the paper's analytical models (Sec 6)
      ac3 attack   — run 51% witness-attack races (Sec 6.3)
      ac3 chaos    — seeded fault-injection sweeps with the atomicity oracle
+     ac3 load     — many-swap workload engine: concurrent AC2Ts over shared chains
      ac3 lint     — determinism & parallel-safety analysis of the repo's own sources
      ac3 metrics  — run one instrumented swap and print the metrics snapshot
 
@@ -23,6 +24,9 @@
      dune exec bin/ac3.exe -- chaos --seed 7 --runs 50 --metrics-out metrics.json
      dune exec bin/ac3.exe -- chaos --seed 7 --shrink
      dune exec bin/ac3.exe -- chaos --replay test/chaos_corpus/some_plan.json
+     dune exec bin/ac3.exe -- chaos --seed 7 --runs 20 --load 4
+     dune exec bin/ac3.exe -- load --swaps 1000 --seed 42 --jobs 4
+     dune exec bin/ac3.exe -- load --swaps 200 --clients 16 --think 2 --metrics-out load.json
      dune exec bin/ac3.exe -- metrics --protocol ac3wn *)
 
 open Cmdliner
@@ -525,8 +529,8 @@ let chaos_replay ~jobs ~metrics_out ~trace_out path =
     2
   end
 
-let chaos_shrink ~seed ~protocol ~jobs ~out ~metrics_out ~trace_out =
-  let spec, plan = Plan.sample ~seed in
+let chaos_shrink ~seed ~protocol ~load ~jobs ~out ~metrics_out ~trace_out =
+  let spec, plan = Plan.sample ~load ~seed () in
   Fmt.pr "seed %d: %a@.plan:@.%a@." seed Plan.pp_spec spec Plan.pp plan;
   let protocols = match protocol with Some p -> [ p ] | None -> Runner.all_protocols in
   let reports = Runner.run_all ~protocols ~jobs ~spec ~plan () in
@@ -578,15 +582,15 @@ let chaos_shrink ~seed ~protocol ~jobs ~out ~metrics_out ~trace_out =
       | None -> ());
       0
 
-let run_chaos seed runs protocol replay shrink out jobs sanitize verbose metrics_out trace_out =
+let run_chaos seed runs protocol load replay shrink out jobs sanitize verbose metrics_out trace_out =
   match replay with
   | Some path -> chaos_replay ~jobs ~metrics_out ~trace_out path
   | None ->
-      if shrink then chaos_shrink ~seed ~protocol ~jobs ~out ~metrics_out ~trace_out
+      if shrink then chaos_shrink ~seed ~protocol ~load ~jobs ~out ~metrics_out ~trace_out
       else begin
         let protocols = match protocol with Some p -> [ p ] | None -> Runner.all_protocols in
         let on_report = if verbose then Some report_line else None in
-        match Runner.sweep ~protocols ?on_report ~jobs ~sanitize ~seed ~runs () with
+        match Runner.sweep ~protocols ?on_report ~jobs ~sanitize ~load ~seed ~runs () with
         | summary ->
             export_obs ?metrics_out ?trace_out summary.Runner.obs;
             Fmt.pr "%a@." Runner.pp_summary summary;
@@ -622,12 +626,20 @@ let chaos_cmd =
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the shrunk reproducer JSON here.")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print a line per run.") in
+  let load =
+    Arg.(
+      value & opt int 1
+      & info [ "load" ] ~docv:"N"
+          ~doc:
+            "Concurrent background swaps sharing each run's universe (1 = none): faults then hit \
+             contended mempools and blocks, not an idle system.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Deterministic fault-injection sweeps: seeded plans, atomicity oracle, shrinking")
     Term.(
-      const run_chaos $ seed $ runs $ protocol $ replay $ shrink $ out $ jobs_arg $ sanitize_arg
-      $ verbose $ metrics_out_arg $ trace_out_arg)
+      const run_chaos $ seed $ runs $ protocol $ load $ replay $ shrink $ out $ jobs_arg
+      $ sanitize_arg $ verbose $ metrics_out_arg $ trace_out_arg)
 
 (* --- check -------------------------------------------------------------------- *)
 
@@ -642,15 +654,15 @@ let mc_protocol_conv =
    checked (Runner.build_graph is shared by both paths). *)
 let check_spec ~scenario ~parties ~seed =
   match scenario with
-  | Two_party -> { Plan.seed; shape = Plan.Two_party; parties = 2; nchains = 2; extra_edges = 0 }
+  | Two_party -> { Plan.seed; shape = Plan.Two_party; parties = 2; nchains = 2; extra_edges = 0; load = 1 }
   | Ring ->
       let n = max 2 parties in
-      { Plan.seed; shape = Plan.Ring; parties = n; nchains = n; extra_edges = 0 }
-  | Cyclic -> { Plan.seed; shape = Plan.Cyclic; parties = 3; nchains = 3; extra_edges = 0 }
+      { Plan.seed; shape = Plan.Ring; parties = n; nchains = n; extra_edges = 0; load = 1 }
+  | Cyclic -> { Plan.seed; shape = Plan.Cyclic; parties = 3; nchains = 3; extra_edges = 0; load = 1 }
   | Disconnected ->
-      { Plan.seed; shape = Plan.Disconnected; parties = 4; nchains = 4; extra_edges = 0 }
+      { Plan.seed; shape = Plan.Disconnected; parties = 4; nchains = 4; extra_edges = 0; load = 1 }
   | Supply_chain ->
-      { Plan.seed; shape = Plan.Supply_chain; parties = 4; nchains = 3; extra_edges = 0 }
+      { Plan.seed; shape = Plan.Supply_chain; parties = 4; nchains = 3; extra_edges = 0; load = 1 }
 
 let all_scenarios = [ Two_party; Ring; Cyclic; Disconnected; Supply_chain ]
 
@@ -914,6 +926,130 @@ let lint_cmd =
     Term.(
       const run_lint $ root $ roots $ baseline $ no_baseline $ update_baseline $ json $ quiet)
 
+(* --- load ------------------------------------------------------------------- *)
+
+module Workload = Ac3_load.Workload
+module Load = Ac3_load.Engine
+
+let run_load swaps seed users chains rate clients think zipf mix abandon deadline block_interval
+    confirm_depth mempool_capacity runs jobs sanitize metrics_out trace_out =
+  setup_logs false;
+  let nolan, herlihy, ac3wn = mix in
+  let arrival =
+    match clients with
+    | Some clients -> Workload.Closed_loop { clients; think }
+    | None -> Workload.Open_loop { rate }
+  in
+  let config =
+    {
+      Workload.default with
+      Workload.swaps;
+      users;
+      chains;
+      arrival;
+      mix = { Workload.nolan; herlihy; ac3wn };
+      zipf_exponent = zipf;
+      abandon_frac = abandon;
+      deadline;
+      block_interval;
+      confirm_depth;
+      mempool_capacity;
+    }
+  in
+  match Load.sweep ~jobs ~sanitize ~seed ~runs config with
+  | summary ->
+      print_string (Load.render_sweep summary);
+      export_obs ?metrics_out ?trace_out summary.Load.obs;
+      let non_atomic = List.fold_left (fun acc r -> acc + r.Load.non_atomic) 0 summary.Load.reports in
+      if non_atomic > 0 then 3 else 0
+  | exception Invalid_argument msg ->
+      Fmt.epr "load: %s@." msg;
+      2
+  | exception Pool.Interference { index; first; rerun } -> sanitize_failure ~index ~first ~rerun
+
+let load_cmd =
+  let swaps =
+    Arg.(value & opt int 50 & info [ "swaps"; "n" ] ~doc:"Swaps to drive through the universe.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Base seed; replication $(i,k) uses seed+$(i,k).")
+  in
+  let users = Arg.(value & opt int 16 & info [ "users" ] ~doc:"Identity pool size (>= 2).") in
+  let chains =
+    Arg.(value & opt int 3 & info [ "chains" ] ~doc:"Asset chains (the witness chain is extra).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Open-loop Poisson arrival rate, swaps per virtual second (ignored with $(b,--clients)).")
+  in
+  let clients =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Switch to a closed loop: $(docv) concurrent swappers, each launching its next swap \
+                after its previous one finishes.")
+  in
+  let think =
+    Arg.(
+      value & opt float 5.0
+      & info [ "think" ] ~doc:"Closed-loop think time between a client's swaps, virtual seconds.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~doc:"Popularity skew of users and chains (0 = uniform).")
+  in
+  let mix =
+    Arg.(
+      value
+      & opt (t3 ~sep:',' float float float) (0.5, 0.3, 0.2)
+      & info [ "mix" ] ~docv:"NOLAN,HERLIHY,AC3WN"
+          ~doc:"Relative protocol weights for the traffic mix.")
+  in
+  let abandon =
+    Arg.(
+      value & opt float 0.15
+      & info [ "abandon" ]
+          ~doc:"Fraction of swaps whose responder walks away (crash or witness abort), forcing \
+                the refund path.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 400.0
+      & info [ "deadline" ] ~doc:"Virtual seconds a swap may stay in flight before the reaper \
+                                  force-finishes it.")
+  in
+  let block_interval =
+    Arg.(value & opt float 4.0 & info [ "block-interval" ] ~doc:"Block interval of every chain.")
+  in
+  let confirm_depth =
+    Arg.(value & opt int 2 & info [ "confirm-depth" ] ~doc:"Confirmation depth of every chain.")
+  in
+  let mempool_capacity =
+    Arg.(
+      value & opt int 512
+      & info [ "mempool-capacity" ]
+          ~doc:"Per-node mempool bound; overload evicts by (class, fee) priority.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 1
+      & info [ "runs" ] ~doc:"Independent replications (consecutive seeds) swept on the domain pool.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive N concurrent AC2Ts through shared chains: Zipf-popular users and assets, \
+          open/closed-loop arrivals, a mixed protocol population, and deterministic \
+          throughput/latency reporting")
+    Term.(
+      const run_load $ swaps $ seed $ users $ chains $ rate $ clients $ think $ zipf $ mix
+      $ abandon $ deadline $ block_interval $ confirm_depth $ mempool_capacity $ runs $ jobs_arg
+      $ sanitize_arg $ metrics_out_arg $ trace_out_arg)
+
 (* --- metrics ---------------------------------------------------------------- *)
 
 (* One fully instrumented swap, with the registry and span tree printed
@@ -978,4 +1114,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ac3" ~doc)
-          [ swap_cmd; verify_cmd; check_cmd; lint_cmd; analyze_cmd; attack_cmd; chaos_cmd; metrics_cmd ]))
+          [
+            swap_cmd; verify_cmd; check_cmd; lint_cmd; analyze_cmd; attack_cmd; chaos_cmd;
+            load_cmd; metrics_cmd;
+          ]))

@@ -22,6 +22,11 @@ type t = {
   params : Params.t;
   registry : Contract_iface.registry;
   utxos : Tx.output Outpoint.Table.t;
+  (* Secondary index: address -> its live outpoints. Maintained by
+     [utxo_put]/[utxo_delete] below so [balance_of]/[utxos_of] touch only
+     the owner's coins instead of scanning the whole UTXO set — under
+     many-swap load, coin selection is a per-poll hot path. *)
+  by_addr : (string, Tx.output Outpoint.Table.t) Hashtbl.t;
   contracts : (string, contract) Hashtbl.t;
   mutable height : int; (* height of the last applied block; -1 = empty *)
 }
@@ -40,6 +45,7 @@ let create ~params ~registry =
     params;
     registry;
     utxos = Outpoint.Table.create 256;
+    by_addr = Hashtbl.create 64;
     contracts = Hashtbl.create 16;
     height = -1;
   }
@@ -52,20 +58,53 @@ let contract t id = Hashtbl.find_opt t.contracts id
 
 let utxo_count t = Outpoint.Table.length t.utxos
 
+(* The only two mutators of the UTXO set: every add/remove goes through
+   here so [by_addr] can never drift from [utxos]. *)
+let bucket t addr =
+  match Hashtbl.find_opt t.by_addr addr with
+  | Some b -> b
+  | None ->
+      let b = Outpoint.Table.create 8 in
+      Hashtbl.replace t.by_addr addr b;
+      b
+
+let utxo_put t op (o : Tx.output) =
+  (match Outpoint.Table.find_opt t.utxos op with
+  | Some (prev : Tx.output) when not (String.equal prev.addr o.addr) -> (
+      match Hashtbl.find_opt t.by_addr prev.addr with
+      | Some b -> Outpoint.Table.remove b op
+      | None -> ())
+  | _ -> ());
+  Outpoint.Table.replace t.utxos op o;
+  Outpoint.Table.replace (bucket t o.addr) op o
+
+let utxo_delete t op =
+  match Outpoint.Table.find_opt t.utxos op with
+  | None -> ()
+  | Some (o : Tx.output) -> (
+      Outpoint.Table.remove t.utxos op;
+      match Hashtbl.find_opt t.by_addr o.addr with
+      | None -> ()
+      | Some b ->
+          Outpoint.Table.remove b op;
+          if Outpoint.Table.length b = 0 then Hashtbl.remove t.by_addr o.addr)
+
 let balance_of t addr =
-  (* ac3-lint: allow D001 — commutative sum over amounts; fold order cannot change the total *)
-  Outpoint.Table.fold
-    (fun _ (o : Tx.output) acc -> if String.equal o.addr addr then Amount.(acc + o.amount) else acc)
-    t.utxos Amount.zero
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> Amount.zero
+  | Some b ->
+      (* ac3-lint: allow D001 — commutative sum over amounts; fold order cannot change the total *)
+      Outpoint.Table.fold (fun _ (o : Tx.output) acc -> Amount.(acc + o.amount)) b Amount.zero
 
 (* Sorted by outpoint so callers (wallet coin selection, experiment
    reports) observe the same order on every run. *)
 let utxos_of t addr =
-  (* ac3-lint: allow D001 — unique outpoint keys; sorted by Outpoint.compare below *)
-  Outpoint.Table.fold
-    (fun op (o : Tx.output) acc -> if String.equal o.addr addr then (op, o) :: acc else acc)
-    t.utxos []
-  |> List.sort (fun (a, _) (b, _) -> Outpoint.compare a b)
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> []
+  | Some b ->
+      (* ac3-lint: allow D001 — unique outpoint keys; sorted by Outpoint.compare below *)
+      Outpoint.Table.fold (fun op o acc -> (op, o) :: acc) b []
+      |> List.sort (fun (a, _) (b, _) -> Outpoint.compare a b)
 
 (* Total value in circulation: UTXOs plus contract balances. The
    conservation property tests check this only grows by block rewards. *)
@@ -225,13 +264,13 @@ let apply_tx t ~block_height ~block_time (tx : Tx.t) : (applied_tx, string) resu
           | Error e -> Error e
           | Ok (payout_outputs, contract_updates, events) ->
               (* All checks passed: mutate. *)
-              List.iter (fun (op, _) -> Outpoint.Table.remove t.utxos op) resolved;
+              List.iter (fun (op, _) -> utxo_delete t op) resolved;
               let all_outputs = tx.outputs @ payout_outputs in
               let created =
                 List.mapi
                   (fun i (o : Tx.output) ->
                     let op = Outpoint.create ~txid ~index:i in
-                    Outpoint.Table.replace t.utxos op o;
+                    utxo_put t op o;
                     op)
                   all_outputs
               in
@@ -256,8 +295,8 @@ let apply_tx t ~block_height ~block_time (tx : Tx.t) : (applied_tx, string) resu
   end
 
 let undo_applied_tx t (a : applied_tx) =
-  List.iter (fun op -> Outpoint.Table.remove t.utxos op) a.tx_undo_created;
-  List.iter (fun (op, o) -> Outpoint.Table.replace t.utxos op o) a.tx_undo_spent;
+  List.iter (fun op -> utxo_delete t op) a.tx_undo_created;
+  List.iter (fun (op, o) -> utxo_put t op o) a.tx_undo_spent;
   List.iter
     (fun (id, prev) ->
       match prev with
@@ -310,7 +349,7 @@ let apply_block t (block : Block.t) : (undo * event list, string) result =
                   List.mapi
                     (fun i (o : Tx.output) ->
                       let op = Outpoint.create ~txid:cb_id ~index:i in
-                      Outpoint.Table.replace t.utxos op o;
+                      utxo_put t op o;
                       op)
                     coinbase.Tx.outputs
                 in
@@ -333,8 +372,8 @@ let apply_block t (block : Block.t) : (undo * event list, string) result =
   end
 
 let undo_block t (u : undo) =
-  List.iter (fun op -> Outpoint.Table.remove t.utxos op) u.created;
-  List.iter (fun (op, o) -> Outpoint.Table.replace t.utxos op o) u.spent;
+  List.iter (fun op -> utxo_delete t op) u.created;
+  List.iter (fun (op, o) -> utxo_put t op o) u.spent;
   List.iter
     (fun (id, prev) ->
       match prev with

@@ -29,10 +29,12 @@ val contract : t -> string -> contract option
 
 val utxo_count : t -> int
 
-(** Sum of UTXOs owned by [addr] (linear scan; fine at simulator scale). *)
+(** Sum of UTXOs owned by [addr]. Served from a per-address index, so
+    the cost scales with the owner's coins, not the whole UTXO set. *)
 val balance_of : t -> string -> Amount.t
 
-(** All UTXOs owned by [addr]. *)
+(** All UTXOs owned by [addr], sorted by outpoint. Indexed like
+    {!balance_of}. *)
 val utxos_of : t -> string -> (Outpoint.t * Tx.output) list
 
 (** UTXO total plus contract balances; grows only by block rewards. *)

@@ -1,16 +1,34 @@
-(** Mempool: pending transactions in arrival order. *)
+(** Mempool: pending transactions in arrival order.
+
+    Optionally bounded: a pool built with [~capacity] evicts the lowest
+    (class, fee) resident when a strictly better-paying transaction
+    arrives at a full pool, where the class order is
+    Call > Deploy > Transfer — settlement transactions (contract calls
+    such as redeem/refund) are never displaced by transfer spam. *)
 
 type t
 
-val create : unit -> t
+(** [create ?capacity ()]. Omitting [capacity] gives the historical
+    unbounded pool. Raises [Invalid_argument] when [capacity < 1]. *)
+val create : ?capacity:int -> unit -> t
 
 val size : t -> int
 
 val mem : t -> string -> bool
 
-(** Insert; [Error] on duplicates. Ledger-level validity is the node's
-    responsibility. *)
-val add : t -> Tx.t -> (unit, string) result
+(** [spends t outpoint] is [true] iff some live transaction in the pool
+    consumes [outpoint]. O(1); lets wallets avoid promising the same
+    coin to two pending transactions without scanning the pool. *)
+val spends : t -> Outpoint.t -> bool
+
+(** Eviction class of a transaction: Call = 2, Deploy = 1, others 0. *)
+val priority_class : Tx.t -> int
+
+(** Insert; [Ok evicted] lists the transactions displaced to make room
+    (empty for unbounded pools, at most one otherwise). [Error] on
+    duplicates and when a full pool holds only equal-or-better entries.
+    Ledger-level validity is the node's responsibility. *)
+val add : t -> Tx.t -> (Tx.t list, string) result
 
 val remove : t -> string -> unit
 

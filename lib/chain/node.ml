@@ -25,6 +25,7 @@ type meters = {
   reorg_depth : Metrics.histogram;
   propagation : Metrics.histogram;
   evicted_mined : Metrics.counter;
+  evicted_overflow : Metrics.counter;
   resurrected : Metrics.counter;
 }
 
@@ -42,6 +43,7 @@ let meters_of metrics ~chain =
     reorg_depth = h ~hi:20.0 ~buckets:20 "chain.reorg.depth";
     propagation = h ~hi:30.0 ~buckets:30 "chain.block.propagation_delay";
     evicted_mined = c "chain.mempool.evicted_mined";
+    evicted_overflow = c "chain.mempool.evicted_overflow";
     resurrected = c "chain.mempool.resurrected";
   }
 
@@ -59,7 +61,7 @@ type t = {
 
 let rec create ~engine ~network ~params ~registry ?metrics id =
   let store = Store.create ~params ~registry in
-  let mempool = Mempool.create () in
+  let mempool = Mempool.create ?capacity:params.Params.mempool_capacity () in
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ~enabled:false ()
   in
@@ -84,7 +86,9 @@ let rec create ~engine ~network ~params ~registry ?metrics id =
             (fun tx ->
               if not (Tx.is_coinbase tx) then
                 match Mempool.add mempool tx with
-                | Ok () -> Metrics.incr meters.resurrected
+                | Ok evicted ->
+                    Metrics.incr meters.resurrected;
+                    List.iter (fun _ -> Metrics.incr meters.evicted_overflow) evicted
                 | Error _ -> ())
             b.Block.txs)
         disconnected);
@@ -138,7 +142,9 @@ and handle_tx t tx =
     match Ledger.check_tx (Store.ledger t.store) ~block_time:(Engine.now t.engine) tx with
     | Ok () ->
         Metrics.incr t.meters.txs_accepted;
-        ignore (Mempool.add t.mempool tx);
+        (match Mempool.add t.mempool tx with
+        | Ok evicted -> List.iter (fun _ -> Metrics.incr t.meters.evicted_overflow) evicted
+        | Error _ -> ());
         Network.broadcast t.network ~from:t.id (Network.Tx_msg tx);
         `Accepted
     | Error reason ->

@@ -18,6 +18,7 @@ type t = {
   deploy_fee : Amount.t; (* fd: smart-contract deployment fee *)
   call_fee : Amount.t; (* ffc: smart-contract function-call fee *)
   verify_signatures : bool; (* simulator knob for throughput stress runs *)
+  mempool_capacity : int option; (* None: unbounded; Some n: evict under load *)
   premine : (string * Amount.t) list; (* genesis allocations (address, amount) *)
   (* true: miners produce blocks at fixed intervals instead of a Poisson
      process. Matches the deterministic Δ of the paper's latency model;
@@ -28,12 +29,15 @@ type t = {
 let make ?(symbol = "COIN") ?(block_interval = 10.0) ?(block_capacity = 100) ?(pow_bits = 10)
     ?(confirm_depth = 6) ?(block_reward = Amount.of_int 50_000_000)
     ?(transfer_fee = Amount.of_int 100) ?(deploy_fee = Amount.of_int 4000)
-    ?(call_fee = Amount.of_int 2000) ?(verify_signatures = true) ?(premine = [])
-    ?(regular_blocks = false) chain_id =
+    ?(call_fee = Amount.of_int 2000) ?(verify_signatures = true) ?mempool_capacity
+    ?(premine = []) ?(regular_blocks = false) chain_id =
   if block_interval <= 0.0 then invalid_arg "Params.make: block_interval must be positive";
   if block_capacity < 1 then invalid_arg "Params.make: block_capacity must be >= 1";
   if pow_bits < 0 || pow_bits > 200 then invalid_arg "Params.make: pow_bits out of range";
   if confirm_depth < 0 then invalid_arg "Params.make: negative confirm_depth";
+  (match mempool_capacity with
+  | Some c when c < 1 -> invalid_arg "Params.make: mempool_capacity must be >= 1"
+  | _ -> ());
   {
     chain_id;
     symbol;
@@ -46,6 +50,7 @@ let make ?(symbol = "COIN") ?(block_interval = 10.0) ?(block_capacity = 100) ?(p
     deploy_fee;
     call_fee;
     verify_signatures;
+    mempool_capacity;
     premine;
     regular_blocks;
   }

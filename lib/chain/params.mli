@@ -13,6 +13,10 @@ type t = {
   deploy_fee : Amount.t;
   call_fee : Amount.t;
   verify_signatures : bool;
+  mempool_capacity : int option;
+      (** [None]: unbounded (historical behavior). [Some n]: the node's
+          mempool holds at most [n] transactions and evicts the lowest
+          (class, fee) entry under overload — see {!Mempool.add}. *)
   premine : (string * Amount.t) list;
   regular_blocks : bool;
 }
@@ -28,6 +32,7 @@ val make :
   ?deploy_fee:Amount.t ->
   ?call_fee:Amount.t ->
   ?verify_signatures:bool ->
+  ?mempool_capacity:int ->
   ?premine:(string * Amount.t) list ->
   ?regular_blocks:bool ->
   string ->

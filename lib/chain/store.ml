@@ -18,6 +18,10 @@ type entry = {
   mutable invalid : bool;
 }
 
+(* One Call transaction on the active chain, as seen by the per-contract
+   call index. *)
+type call_rec = { call_txid : string; call_fn : string; call_args : Value.t; call_height : int }
+
 type t = {
   params : Params.t;
   registry : Contract_iface.registry;
@@ -26,6 +30,12 @@ type t = {
   active : (string, int) Hashtbl.t; (* hash -> height, active chain only *)
   by_height : (int, string) Hashtbl.t; (* height -> hash, active chain only *)
   tx_index : (string, string * int) Hashtbl.t; (* txid -> (block hash, index), active *)
+  (* contract id -> its Call transactions on the active chain, newest
+     first. Maintained incrementally by connect/disconnect, so protocol
+     polls ([find_call]/[calls_on], the hottest loops under many-swap
+     load) cost O(calls on that contract) instead of a scan over every
+     transaction of the active chain. *)
+  call_index : (string, call_rec list) Hashtbl.t;
   undo_data : (string, Ledger.undo) Hashtbl.t; (* for connected blocks *)
   ledger : Ledger.t;
   mutable next_seq : int;
@@ -63,6 +73,7 @@ let create ~params ~registry =
           active = Hashtbl.create 256;
           by_height = Hashtbl.create 256;
           tx_index = Hashtbl.create 256;
+          call_index = Hashtbl.create 256;
           undo_data = Hashtbl.create 256;
           ledger;
           next_seq = 1;
@@ -137,6 +148,38 @@ let headers_from t ~from_ =
 
 (* --- Connect / disconnect ------------------------------------------- *)
 
+(* Record a block's Call transactions in the call index. Prepending in
+   tx order keeps each per-contract list newest-first with in-block
+   order recovered by the final reverse in [calls_on]. *)
+let index_calls t (block : Block.t) ~height =
+  List.iter
+    (fun (tx : Tx.t) ->
+      match tx.Tx.payload with
+      | Tx.Call c ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt t.call_index c.contract_id) in
+          Hashtbl.replace t.call_index c.contract_id
+            ({ call_txid = Tx.txid tx; call_fn = c.fn; call_args = c.args; call_height = height }
+            :: prev)
+      | Tx.Transfer | Tx.Deploy _ | Tx.Coinbase _ -> ())
+    block.Block.txs
+
+(* Drop the index entries contributed by a block being disconnected.
+   Only tips disconnect, so every indexed call at [height] belongs to
+   this block and sits at the head of its contract's list. *)
+let unindex_calls t (block : Block.t) ~height =
+  List.iter
+    (fun (tx : Tx.t) ->
+      match tx.Tx.payload with
+      | Tx.Call c -> (
+          match Hashtbl.find_opt t.call_index c.contract_id with
+          | None -> ()
+          | Some recs -> (
+              match List.filter (fun r -> r.call_height <> height) recs with
+              | [] -> Hashtbl.remove t.call_index c.contract_id
+              | kept -> Hashtbl.replace t.call_index c.contract_id kept))
+      | Tx.Transfer | Tx.Deploy _ | Tx.Coinbase _ -> ())
+    block.Block.txs
+
 let connect_block t entry =
   match Ledger.apply_block t.ledger entry.block with
   | Error e -> Error e
@@ -148,6 +191,7 @@ let connect_block t entry =
       List.iteri
         (fun i tx -> Hashtbl.replace t.tx_index (Tx.txid tx) (entry.hash, i))
         entry.block.Block.txs;
+      index_calls t entry.block ~height:h;
       t.tip <- entry.hash;
       Ok events
 
@@ -160,6 +204,7 @@ let disconnect_tip t =
   Hashtbl.remove t.by_height h;
   Hashtbl.remove t.undo_data e.hash;
   List.iter (fun tx -> Hashtbl.remove t.tx_index (Tx.txid tx)) e.block.Block.txs;
+  unindex_calls t e.block ~height:h;
   t.tip <- e.block.Block.header.Block.parent;
   e.block
 
@@ -283,48 +328,22 @@ let rec add_block t (block : Block.t) : add_result =
 
 (* Find the first successful call of [fn] on [contract_id] on the active
    chain: (txid, height). Participants use this to locate the SCw
-   state-change transaction they must build evidence about. Linear scan
-   over the active chain — fine at simulator scale. *)
+   state-change transaction they must build evidence about. Served from
+   the incremental call index: O(calls on this contract), independent of
+   chain length and total contract count. *)
 let find_call t ~contract_id ~fn =
-  let th = tip_height t in
-  let rec scan h =
-    if h > th then None
-    else
-      match block_at_height t h with
-      | None -> None
-      | Some b ->
-          let hit =
-            List.find_opt
-              (fun (tx : Tx.t) ->
-                match tx.Tx.payload with
-                | Tx.Call c -> String.equal c.contract_id contract_id && String.equal c.fn fn
-                | Tx.Transfer | Tx.Deploy _ | Tx.Coinbase _ -> false)
-              b.Block.txs
-          in
-          (match hit with Some tx -> Some (Tx.txid tx, h) | None -> scan (h + 1))
-  in
-  scan 0
+  match Hashtbl.find_opt t.call_index contract_id with
+  | None -> None
+  | Some recs ->
+      (* newest-first, so fold keeps the oldest match. *)
+      List.fold_left
+        (fun acc r -> if String.equal r.call_fn fn then Some (r.call_txid, r.call_height) else acc)
+        None recs
 
 (* All successful calls on [contract_id] on the active chain, with their
    function names and arguments — used to extract revealed hashlock
-   secrets from redeem transactions. *)
+   secrets from redeem transactions. Oldest-first, from the call index. *)
 let calls_on t ~contract_id =
-  let th = tip_height t in
-  let rec scan h acc =
-    if h > th then List.rev acc
-    else
-      match block_at_height t h with
-      | None -> List.rev acc
-      | Some b ->
-          let hits =
-            List.filter_map
-              (fun (tx : Tx.t) ->
-                match tx.Tx.payload with
-                | Tx.Call c when String.equal c.contract_id contract_id ->
-                    Some (Tx.txid tx, c.fn, c.args)
-                | Tx.Call _ | Tx.Transfer | Tx.Deploy _ | Tx.Coinbase _ -> None)
-              b.Block.txs
-          in
-          scan (h + 1) (List.rev_append hits acc)
-  in
-  scan 0 []
+  match Hashtbl.find_opt t.call_index contract_id with
+  | None -> []
+  | Some recs -> List.rev_map (fun r -> (r.call_txid, r.call_fn, r.call_args)) recs

@@ -57,8 +57,11 @@ val headers_from : t -> from_:int -> Block.header list
 val add_block : t -> Block.t -> add_result
 
 (** First successful call of [fn] on [contract_id] on the active chain:
-    (txid, height). *)
+    (txid, height). Served from an incremental per-contract index that
+    survives reorganizations; cost is O(calls on that contract), not a
+    scan of the chain. *)
 val find_call : t -> contract_id:string -> fn:string -> (string * int) option
 
-(** All calls on [contract_id] on the active chain: (txid, fn, args). *)
+(** All calls on [contract_id] on the active chain, oldest first:
+    (txid, fn, args). Indexed like {!find_call}. *)
 val calls_on : t -> contract_id:string -> (string * string * Value.t) list

@@ -27,22 +27,20 @@ let next_nonce t =
 
 (* Greedy coin selection over the wallet's UTXOs at the node's tip.
    Outpoints already spent by a transaction pending in the node's mempool
-   (typically this wallet's own earlier submission in the same tick) are
-   off limits: reusing one would build a double spend that miners
-   silently drop. *)
+   (typically this wallet's own earlier submission in the same tick, or a
+   sibling wallet of the same identity driving another concurrent swap)
+   are off limits: reusing one would build a double spend that miners
+   silently drop. The check is an O(1) probe of the mempool's spent-
+   outpoint index per candidate coin, so identities reused across many
+   concurrent swaps don't pay a pool scan on every selection. *)
 let select_coins t ~total =
-  let pending_spent op =
-    List.exists
-      (fun (tx : Tx.t) -> List.exists (fun (i : Tx.input) -> Outpoint.equal i.outpoint op) tx.inputs)
-      (Mempool.to_list (Node.mempool t.node))
-  in
+  let mempool = Node.mempool t.node in
   let utxos =
-    (* Deterministic order so runs replay identically. *)
-    List.sort
-      (fun (a, _) (b, _) -> Outpoint.compare a b)
-      (List.filter
-         (fun (op, _) -> not (pending_spent op))
-         (Ledger.utxos_of (Node.ledger t.node) (address t)))
+    (* [Ledger.utxos_of] is already outpoint-sorted, so selection order
+       is deterministic and runs replay identically. *)
+    List.filter
+      (fun (op, _) -> not (Mempool.spends mempool op))
+      (Ledger.utxos_of (Node.ledger t.node) (address t))
   in
   let rec pick acc covered = function
     | _ when Amount.compare covered total >= 0 -> Some (List.rev acc, Amount.(covered - total))
@@ -51,8 +49,12 @@ let select_coins t ~total =
   in
   pick [] Amount.zero utxos
 
-(* Build and sign a transaction paying [outputs], carrying [payload], with
-   any excess returned to the wallet as change. *)
+(* Build a transaction paying [outputs], carrying [payload], with any
+   excess returned to the wallet as change. On chains that verify
+   signatures the inputs are signed (consuming MSS signature budget); on
+   [verify_signatures = false] chains the wallet emits witness-free
+   transactions, so a hot identity can drive an unbounded number of
+   swaps in throughput runs without exhausting its key. *)
 let build t ?(payload = Tx.Transfer) ~outputs () =
   let params = Node.params t.node in
   let fee = Params.required_fee params payload in
@@ -73,10 +75,14 @@ let build t ?(payload = Tx.Transfer) ~outputs () =
         if Amount.is_zero change then outputs
         else outputs @ [ ({ addr = address t; amount = change } : Tx.output) ]
       in
-      let inputs = List.map (fun op -> (op, t.identity)) coins in
-      Ok
-        (Tx.make ~chain:params.Params.chain_id ~inputs ~outputs ~payload ~fee
-           ~nonce:(next_nonce t) ())
+      let chain = params.Params.chain_id in
+      let nonce = next_nonce t in
+      if params.Params.verify_signatures then
+        let inputs = List.map (fun op -> (op, t.identity)) coins in
+        Ok (Tx.make ~chain ~inputs ~outputs ~payload ~fee ~nonce ())
+      else
+        let inputs = List.map (fun op -> (op, Keys.public t.identity)) coins in
+        Ok (Tx.make_unsigned ~chain ~inputs ~outputs ~payload ~fee ~nonce ())
 
 (* Build, sign, and submit to the wallet's node. Returns the txid. *)
 let submit t ?payload ~outputs () =

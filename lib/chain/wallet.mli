@@ -17,11 +17,15 @@ val public : t -> Keys.public
 
 val balance : t -> Amount.t
 
-(** Build and sign a transaction (outputs + payload + fee + change) from
-    the wallet's UTXOs. Outpoints spent by transactions still pending in
-    the node's mempool (e.g. this wallet's own earlier submissions) are
+(** Build a transaction (outputs + payload + fee + change) from the
+    wallet's UTXOs. Outpoints spent by transactions still pending in the
+    node's mempool (this wallet's own earlier submissions, or those of a
+    sibling wallet sharing the identity across concurrent swaps) are
     never selected — reusing one would create a double spend that miners
-    drop. [Error] if the remaining funds are insufficient. *)
+    drop; the check is an O(1) index probe per coin. Inputs are signed
+    unless the chain has [verify_signatures = false], in which case
+    witness-free transactions preserve the identity's signature budget.
+    [Error] if the remaining funds are insufficient. *)
 val build : t -> ?payload:Tx.payload -> outputs:Tx.output list -> unit -> (Tx.t, string) result
 
 (** Build, sign, and submit; returns the txid. *)

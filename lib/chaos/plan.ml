@@ -31,6 +31,7 @@ type spec = {
   parties : int;  (** 2..8 *)
   nchains : int;  (** asset chains, 2..5; the witness chain is extra *)
   extra_edges : int;  (** chords beyond the base ring (Random only) *)
+  load : int;  (** concurrent background swaps sharing the universe (>= 1) *)
 }
 
 let shape_to_string = function
@@ -68,6 +69,7 @@ let validate_spec spec =
   if spec.parties < 2 || spec.parties > 8 then fail "parties out of range: %d" spec.parties;
   if spec.nchains < 2 || spec.nchains > 8 then fail "nchains out of range: %d" spec.nchains;
   if spec.extra_edges < 0 then fail "negative extra_edges";
+  if spec.load < 1 || spec.load > 16 then fail "load out of range: %d" spec.load;
   spec
 
 (* ------------------------------------------------------------------ *)
@@ -111,7 +113,7 @@ let sort_by_time faults =
 
 let horizon = 400.0
 
-let sample_spec rng ~seed =
+let sample_spec rng ~seed ~load =
   let shape =
     match Rng.int rng 8 with
     | 0 -> Two_party
@@ -133,7 +135,7 @@ let sample_spec rng ~seed =
     | Random -> (2 + Rng.int rng 7, 2 + Rng.int rng 4)
   in
   let extra_edges = match shape with Random -> Rng.int rng 4 | _ -> 0 in
-  validate_spec { seed; shape; parties; nchains; extra_edges }
+  validate_spec { seed; shape; parties; nchains; extra_edges; load }
 
 (* Chains a fault may target: every asset chain plus the witness chain
    (so witness-side partitions and stalls are in scope, not just the
@@ -174,9 +176,13 @@ let sample_faults rng ~spec =
   let n = 1 + Rng.int rng 4 in
   sort_by_time (List.concat (List.init n (fun _ -> sample_fault rng ~spec)))
 
-let sample ~seed =
+(* [load] perturbs neither the spec nor the plan stream: it is an
+   orthogonal knob ([ac3 chaos --load N]) layered onto whatever the
+   seed samples, so existing seeds and corpus reproducers are
+   unchanged at the default. *)
+let sample ?(load = 1) ~seed () =
   let rng = Rng.create seed in
-  let spec = sample_spec rng ~seed in
+  let spec = sample_spec rng ~seed ~load in
   let plan = sample_faults rng ~spec in
   (spec, plan)
 
@@ -191,6 +197,7 @@ let spec_to_json spec =
       ("parties", Json.Int spec.parties);
       ("nchains", Json.Int spec.nchains);
       ("extra_edges", Json.Int spec.extra_edges);
+      ("load", Json.Int spec.load);
     ]
 
 let spec_of_json j =
@@ -201,6 +208,8 @@ let spec_of_json j =
       parties = Json.to_int (Json.member "parties" j);
       nchains = Json.to_int (Json.member "nchains" j);
       extra_edges = Json.to_int (Json.member "extra_edges" j);
+      (* Absent in corpus files predating the load knob: one swap. *)
+      load = (match Json.member_opt "load" j with Some v -> Json.to_int v | None -> 1);
     }
 
 let fault_to_json fault =
@@ -306,4 +315,5 @@ let pp ppf plan =
 let pp_spec ppf spec =
   Fmt.pf ppf "seed=%d %s parties=%d chains=%d%s" spec.seed (shape_to_string spec.shape)
     spec.parties spec.nchains
-    (if spec.extra_edges > 0 then Printf.sprintf " chords=%d" spec.extra_edges else "")
+    ((if spec.extra_edges > 0 then Printf.sprintf " chords=%d" spec.extra_edges else "")
+    ^ if spec.load > 1 then Printf.sprintf " load=%d" spec.load else "")

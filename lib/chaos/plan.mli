@@ -16,6 +16,10 @@ type spec = {
   parties : int;
   nchains : int;
   extra_edges : int;  (** ring chords (Random shape only) *)
+  load : int;
+      (** concurrent background two-party swaps sharing the universe
+          with the protocol under test (>= 1; 1 = just that protocol).
+          Absent in older reproducer JSON, which parses as 1. *)
 }
 
 val shape_to_string : shape -> string
@@ -49,8 +53,9 @@ val sort_by_time : t -> t
 val horizon : float
 
 (** Deterministically sample a universe spec and a fault plan from the
-    seed. *)
-val sample : seed:int -> spec * t
+    seed. [load] (default 1) is an orthogonal knob layered onto the
+    sampled spec — it never perturbs the seed's spec or fault stream. *)
+val sample : ?load:int -> seed:int -> unit -> spec * t
 
 (** {2 JSON} — deterministic, diffable; parsing raises {!Malformed} or
     {!Ac3_crypto.Codec.Decode_error}. *)

@@ -118,18 +118,66 @@ let build_graph ~spec ~ids ~timestamp =
 let build_universe ?instrument ~spec ~protocol () =
   let ns = Printf.sprintf "chaos%d-%s" spec.Plan.seed (protocol_name protocol) in
   let ids = Scenarios.identities ~ns ~fresh:true spec.Plan.parties in
+  (* Background-load identities (spec.load - 1 extra swaps, two parties
+     each) must exist at genesis to be premined; with load = 1 the list
+     is empty and the universe is byte-identical to before the knob. *)
+  let bg_ids =
+    List.init
+      (2 * (spec.Plan.load - 1))
+      (fun k -> Keys.fresh (Printf.sprintf "%s:bg%d" ns k))
+  in
   let universe, participants =
     Scenarios.make_universe ~seed:spec.Plan.seed ~block_interval ~confirm_depth ~nodes:2
-      ?instrument ~chains:(Plan.chain_names spec) ids ()
+      ?instrument ~chains:(Plan.chain_names spec) (ids @ bg_ids) ()
   in
   Universe.run_until universe warmup;
-  (universe, participants, ids)
+  let main = List.filteri (fun i _ -> i < spec.Plan.parties) participants in
+  let bg = List.filteri (fun i _ -> i >= spec.Plan.parties) participants in
+  (universe, main, ids, bg)
 
 (* ------------------------------------------------------------------ *)
 (* One protocol under one plan *)
 
+(* Background load: spec.load - 1 concurrent two-party swaps between
+   dedicated identities, launched before the protocol under test and
+   sharing its chains, mempools and fault schedule. They ride the same
+   engine the protocol's execute drives; whatever is still unsettled
+   when the protocol finishes is finished as-is (its refund paths may
+   simply not have run within the horizon). The oracle judges only the
+   protocol's own graph — the load exists to contend for blocks. *)
+let launch_background ~universe ~spec ~bg =
+  let nch = List.length (Plan.chain_names spec) in
+  let chains = Array.of_list (Plan.chain_names spec) in
+  let delta = Universe.max_delta universe in
+  let config = { (Herlihy.default_config ~delta) with timeout = protocol_timeout } in
+  let now = Universe.now universe in
+  let bg = Array.of_list bg in
+  List.init (spec.Plan.load - 1) (fun k ->
+      let pa = bg.(2 * k) and pb = bg.((2 * k) + 1) in
+      let ca = chains.(k mod nch) and cb = chains.((k + 1) mod nch) in
+      let graph =
+        Ac2t.create
+          ~edges:
+            [
+              {
+                Ac2t.from_pk = Ac3_core.Participant.public pa;
+                to_pk = Ac3_core.Participant.public pb;
+                amount = Amount.of_int (30_000 + k);
+                chain = ca;
+              };
+              {
+                Ac2t.from_pk = Ac3_core.Participant.public pb;
+                to_pk = Ac3_core.Participant.public pa;
+                amount = Amount.of_int (40_000 + k);
+                chain = cb;
+              };
+            ]
+          ~timestamp:now
+      in
+      Nolan.launch universe ~config ~graph ~participants:[ pa; pb ] ())
+
 let run_one ?instrument ~spec ~plan ~protocol () =
-  let universe, participants, ids = build_universe ?instrument ~spec ~protocol () in
+  let universe, participants, ids, bg = build_universe ?instrument ~spec ~protocol () in
   let run_span =
     Span.enter (Universe.spans universe)
       ~attrs:
@@ -138,7 +186,18 @@ let run_one ?instrument ~spec ~plan ~protocol () =
         ]
       "run"
   in
+  let bg_handles = launch_background ~universe ~spec ~bg in
   let finish ?trace exec =
+    let bg_settled = List.length (List.filter Nolan.settled bg_handles) in
+    List.iter (fun h -> ignore (Nolan.finish h : Nolan.result)) bg_handles;
+    (if bg_handles <> [] then
+       let m = Universe.metrics universe in
+       Metrics.add
+         (Metrics.counter m ~labels:[ ("protocol", protocol_name protocol) ] "chaos.load.launched")
+         (List.length bg_handles);
+       Metrics.add
+         (Metrics.counter m ~labels:[ ("protocol", protocol_name protocol) ] "chaos.load.settled")
+         bg_settled);
     Span.exit (Universe.spans universe) run_span;
     Universe.snapshot_metrics universe;
     let m = Universe.metrics universe in
@@ -310,7 +369,7 @@ let tally c = function
    [on_report] callback are therefore byte-identical for every [jobs]
    (locked in by test/test_par.ml). *)
 let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ?(instrument = true)
-    ?(sanitize = false) ~seed ~runs () =
+    ?(sanitize = false) ?(load = 1) ~seed ~runs () =
   let sweep_task_fingerprint (run_seed, reports) =
     String.concat "\n" (string_of_int run_seed :: List.map report_fingerprint reports)
   in
@@ -318,7 +377,7 @@ let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ?(instrument = tru
     Pool.run ~jobs ~sanitize ~fingerprint:sweep_task_fingerprint
       (List.init runs (fun k () ->
            let run_seed = seed + k in
-           let spec, plan = Plan.sample ~seed:run_seed in
+           let spec, plan = Plan.sample ~load ~seed:run_seed () in
            ( run_seed,
              List.map (fun protocol -> run_one ~instrument ~spec ~plan ~protocol ()) protocols )))
   in

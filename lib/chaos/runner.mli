@@ -41,12 +41,18 @@ val warmup : float
 (** Simulation horizon handed to each protocol's [timeout]. *)
 val protocol_timeout : float
 
+(** Returns (universe, protocol participants, their identities,
+    background-load participants — [2 * (spec.load - 1)] of them,
+    premined but not part of the protocol's graph). *)
 val build_universe :
   ?instrument:bool ->
   spec:Plan.spec ->
   protocol:protocol ->
   unit ->
-  Ac3_core.Universe.t * Ac3_core.Participant.t list * Ac3_crypto.Keys.t list
+  Ac3_core.Universe.t
+  * Ac3_core.Participant.t list
+  * Ac3_crypto.Keys.t list
+  * Ac3_core.Participant.t list
 
 val build_graph :
   spec:Plan.spec -> ids:Ac3_crypto.Keys.t list -> timestamp:float -> Ac3_contract.Ac2t.t
@@ -109,13 +115,19 @@ type summary = {
     [sanitize] spot-checks the pool's isolation contract: sampled runs
     are re-executed after the sweep and their report fingerprints
     compared, raising [Ac3_par.Pool.Interference] with the offending
-    run index on divergence. *)
+    run index on divergence.
+
+    [load] (default 1) layers [load - 1] concurrent background swaps
+    onto every run's universe ({!Ac3_chaos.Plan.spec.load}): crashes
+    and partitions then hit a system with contended mempools and
+    blocks, not an idle one. *)
 val sweep :
   ?protocols:protocol list ->
   ?on_report:(report -> unit) ->
   ?jobs:int ->
   ?instrument:bool ->
   ?sanitize:bool ->
+  ?load:int ->
   seed:int ->
   runs:int ->
   unit ->

@@ -478,12 +478,21 @@ type result = {
   fees : fee_entry list;
 }
 
-(* Execute an AC2T end to end. [participants] must cover the graph's
-   vertices. [hooks] bind trace labels to callbacks (e.g. crash a
-   participant the moment a phase starts). [abort_after] requests the
-   refund path after that many virtual seconds if SCw is still
-   undecided. *)
-let execute universe ~config ~graph ~participants ?(hooks = []) ?abort_after ?(verify = false) () =
+(* A launched AC2T: poll loops scheduled, engine not yet driven. See
+   {!Herlihy.handle} — the load engine interleaves many of these on one
+   shared universe. *)
+type handle = {
+  run : run;
+  start_time : float;
+  stopped : bool ref;
+}
+
+(* Launch an AC2T without running the engine. [participants] must cover
+   the graph's vertices. [hooks] bind trace labels to callbacks (e.g.
+   crash a participant the moment a phase starts). [abort_after]
+   requests the refund path after that many virtual seconds if SCw is
+   still undecided. *)
+let launch universe ~config ~graph ~participants ?(hooks = []) ?abort_after ?(verify = false) () =
   let by_pk = List.map (fun p -> (Participant.public p, p)) participants in
   List.iter
     (fun pk ->
@@ -553,17 +562,23 @@ let execute universe ~config ~graph ~participants ?(hooks = []) ?abort_after ?(v
       in
       ())
     participants;
-  let finished = Universe.run_while universe ~timeout:config.timeout (fun () -> all_settled run) in
-  stopped := true;
+  { run; start_time; stopped }
+
+let settled h = all_settled h.run
+
+let finish h =
+  let run = h.run in
+  h.stopped := true;
+  let finished = all_settled run in
   if finished then record run "completed";
-  observe_run run ~start_time ~finished;
+  observe_run run ~start_time:h.start_time ~finished;
   let contracts = Array.to_list (Array.map (fun es -> es.contract_id) run.edges) in
-  let outcome = Outcome.evaluate universe ~graph ~contracts in
+  let outcome = Outcome.evaluate run.universe ~graph:run.graph ~contracts in
   let latency =
-    if finished then Some (Universe.now universe -. start_time) else None
+    if finished then Some (Universe.now run.universe -. h.start_time) else None
   in
   {
-    graph;
+    graph = run.graph;
     scw_id = run.scw_id;
     contracts;
     outcome;
@@ -573,6 +588,15 @@ let execute universe ~config ~graph ~participants ?(hooks = []) ?abort_after ?(v
     trace = run.trace;
     fees = run.fees;
   }
+
+(* Execute an AC2T end to end: {!launch}, drive the universe until the
+   run settles (or the timeout), {!finish}. *)
+let execute universe ~config ~graph ~participants ?hooks ?abort_after ?verify () =
+  let h = launch universe ~config ~graph ~participants ?hooks ?abort_after ?verify () in
+  let _finished : bool =
+    Universe.run_while universe ~timeout:config.timeout (fun () -> settled h)
+  in
+  finish h
 
 (* Total fees paid across the run, and per participant. *)
 let total_fees result = Amount.sum (List.map (fun f -> f.fee) result.fees)

@@ -39,6 +39,37 @@ type result = {
   fees : fee_entry list;
 }
 
+(** A launched AC2T whose poll loops are scheduled on the universe's
+    engine; the caller drives time (alone or interleaved with other
+    concurrent swaps) and calls {!finish} exactly once. *)
+type handle
+
+(** Set up an AC2T and schedule its poll loops without running the
+    engine. Same contract as {!execute} up to the point where time would
+    start moving: [participants] must cover the graph's vertices,
+    [hooks] bind trace labels to callbacks, [abort_after] requests the
+    refund path after that many virtual seconds if SCw is still
+    undecided, and [~verify:true] raises [Invalid_argument] on a static
+    verification failure before anything touches a chain. *)
+val launch :
+  Universe.t ->
+  config:config ->
+  graph:Ac2t.t ->
+  participants:Participant.t list ->
+  ?hooks:(string * (unit -> unit)) list ->
+  ?abort_after:float ->
+  ?verify:bool ->
+  unit ->
+  handle
+
+(** Every edge settled to confirmation depth (or covered by a confirmed
+    abort decision). *)
+val settled : handle -> bool
+
+(** Stop the poll loops, fold observability into the universe, evaluate
+    the outcome. Call exactly once. *)
+val finish : handle -> result
+
 (** Execute an AC2T end to end. [participants] must cover the graph's
     vertices. [hooks] bind trace labels (e.g. ["scw_confirmed"],
     ["authorize_redeem_submitted"]) to callbacks, letting experiments

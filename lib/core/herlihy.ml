@@ -324,7 +324,19 @@ let observe_run run ~obs_name ~start_time ~finished =
       ]
     run.trace
 
-let execute universe ~config ~graph ~participants ?(hooks = []) ?(verify = false)
+(* A launched swap: its poll loops are scheduled on the universe's
+   engine but nobody is running the engine yet. The caller drives time
+   forward however it likes (dedicated [run_while] for one swap, or a
+   shared clock interleaving many concurrent swaps) and calls [finish]
+   exactly once to stop polling and collect the result. *)
+type handle = {
+  run : run;
+  obs_name : string;
+  start_time : float;
+  stopped : bool ref;
+}
+
+let launch universe ~config ~graph ~participants ?(hooks = []) ?(verify = false)
     ?(obs_name = "herlihy") () =
   let by_pk = List.map (fun p -> (Participant.public p, p)) participants in
   let leader = List.hd (Ac2t.participants graph) in
@@ -408,24 +420,37 @@ let execute universe ~config ~graph ~participants ?(hooks = []) ?(verify = false
           in
           ())
         participants;
-      let finished =
-        Universe.run_while universe ~timeout:config.timeout (fun () -> all_settled run)
+      Ok { run; obs_name; start_time; stopped }
+
+let settled h = all_settled h.run
+
+let finish h =
+  let run = h.run in
+  h.stopped := true;
+  let finished = all_settled run in
+  if finished then record run "completed";
+  observe_run run ~obs_name:h.obs_name ~start_time:h.start_time ~finished;
+  let contracts = Array.to_list (Array.map (fun es -> es.contract_id) run.edges) in
+  let outcome = Outcome.evaluate run.universe ~graph:run.graph ~contracts in
+  {
+    graph = run.graph;
+    contracts;
+    outcome;
+    atomic = Outcome.atomic outcome;
+    committed = Outcome.committed outcome;
+    latency =
+      (if finished then Some (Universe.now run.universe -. h.start_time) else None);
+    trace = run.trace;
+    fees = run.fees;
+  }
+
+let execute universe ~config ~graph ~participants ?hooks ?verify ?obs_name () =
+  match launch universe ~config ~graph ~participants ?hooks ?verify ?obs_name () with
+  | Error e -> Error e
+  | Ok h ->
+      let _finished : bool =
+        Universe.run_while universe ~timeout:config.timeout (fun () -> settled h)
       in
-      stopped := true;
-      if finished then record run "completed";
-      observe_run run ~obs_name ~start_time ~finished;
-      let contracts = Array.to_list (Array.map (fun es -> es.contract_id) run.edges) in
-      let outcome = Outcome.evaluate universe ~graph ~contracts in
-      Ok
-        {
-          graph;
-          contracts;
-          outcome;
-          atomic = Outcome.atomic outcome;
-          committed = Outcome.committed outcome;
-          latency = (if finished then Some (Universe.now universe -. start_time) else None);
-          trace = run.trace;
-          fees = run.fees;
-        }
+      Ok (finish h)
 
 let total_fees result = Amount.sum (List.map (fun f -> f.fee) result.fees)

@@ -33,16 +33,44 @@ type result = {
   fees : fee_entry list;
 }
 
-(** Execute the swap with the graph's first participant as leader.
-    [Error] if the graph is not single-leader executable (disconnected,
-    or cyclic once the leader is removed — Sec 5.3). [hooks] fire on
-    trace labels such as ["deploy:2"] or ["redeem:1"] (per-edge indexes
-    in graph order). With [~verify:true] the static verifier
-    ({!Ac3_verify.Verify.herlihy_preflight}) runs first and any error
-    diagnostic aborts the run before anything touches a chain.
+(** A launched swap whose poll loops are scheduled on the universe's
+    engine. The caller drives the engine (alone or interleaved with
+    other concurrent swaps sharing the same universe) and calls
+    {!finish} exactly once. *)
+type handle
+
+(** Set up the swap with the graph's first participant as leader and
+    schedule its per-participant poll loops — without running the
+    engine. [Error] if the graph is not single-leader executable
+    (disconnected, or cyclic once the leader is removed — Sec 5.3).
+    [hooks] fire on trace labels such as ["deploy:2"] or ["redeem:1"]
+    (per-edge indexes in graph order). With [~verify:true] the static
+    verifier ({!Ac3_verify.Verify.herlihy_preflight}) runs first and any
+    error diagnostic aborts the launch before anything touches a chain.
     [obs_name] (default ["herlihy"]) labels the metrics and phase spans
     the run folds into the universe's observability context — Nolan's
     delegation passes its own name. *)
+val launch :
+  Universe.t ->
+  config:config ->
+  graph:Ac2t.t ->
+  participants:Participant.t list ->
+  ?hooks:(string * (unit -> unit)) list ->
+  ?verify:bool ->
+  ?obs_name:string ->
+  unit ->
+  (handle, string) Stdlib.result
+
+(** Every edge redeemed or refunded to confirmation depth. *)
+val settled : handle -> bool
+
+(** Stop the swap's poll loops, fold its observability into the
+    universe, and evaluate the outcome. Call exactly once, whether the
+    swap settled or a deadline expired with it still in flight. *)
+val finish : handle -> result
+
+(** {!launch}, run the universe until the swap settles (or [config]'s
+    timeout), {!finish}. *)
 val execute :
   Universe.t ->
   config:config ->

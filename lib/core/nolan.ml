@@ -17,6 +17,24 @@ let default_config = Herlihy.default_config
 
 type result = Herlihy.result
 
+type handle = Herlihy.handle
+
+(* Launch a two-party swap without running the engine — the two-vertex
+   case of {!Herlihy.launch}. Raises [Invalid_argument] if the graph is
+   not a simple two-party swap. *)
+let launch universe ~config ~graph ~participants ?hooks ?verify () =
+  if Ac2t.classify graph <> Ac2t.Simple_swap then
+    invalid_arg "Nolan.launch: graph is not a two-party swap";
+  match
+    Herlihy.launch universe ~config ~graph ~participants ?hooks ?verify ~obs_name:"nolan" ()
+  with
+  | Ok h -> h
+  | Error e -> invalid_arg ("Nolan.launch: " ^ e)
+
+let settled = Herlihy.settled
+
+let finish = Herlihy.finish
+
 (* Execute a two-party swap. Raises [Invalid_argument] if the graph is
    not a simple two-party swap. *)
 let execute universe ~config ~graph ~participants ?hooks ?verify () =

@@ -8,6 +8,25 @@ val default_config : delta:float -> config
 
 type result = Herlihy.result
 
+type handle = Herlihy.handle
+
+(** Launch a two-party swap without running the engine; drive the
+    universe and {!finish} it like a {!Herlihy.handle}. Raises
+    [Invalid_argument] under the same conditions as {!execute}. *)
+val launch :
+  Universe.t ->
+  config:config ->
+  graph:Ac3_contract.Ac2t.t ->
+  participants:Participant.t list ->
+  ?hooks:(string * (unit -> unit)) list ->
+  ?verify:bool ->
+  unit ->
+  handle
+
+val settled : handle -> bool
+
+val finish : handle -> result
+
 (** Execute a two-party swap. Raises [Invalid_argument] if the graph is
     not a simple two-party swap, or if [~verify:true] and the static
     verifier rejects the run. *)

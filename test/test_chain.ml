@@ -613,7 +613,7 @@ let qcheck_mempool_candidates_arrival_order =
             let tx = dummy_tx !counter in
             incr counter;
             match Mempool.add mp tx with
-            | Ok () -> arrived := !arrived @ [ Tx.txid tx ]
+            | Ok _ -> arrived := !arrived @ [ Tx.txid tx ]
             | Error _ -> QCheck.Test.fail_report "fresh tx rejected"
           end
           else begin
@@ -624,6 +624,81 @@ let qcheck_mempool_candidates_arrival_order =
         ops;
       let got = List.map Tx.txid (Mempool.candidates mp ~limit:max_int) in
       got = !arrived)
+
+(* Regression for the capacity/eviction policy under swap load: a flood
+   of high-fee transfers must churn only the transfer slots — a pending
+   deposit (Deploy) or refund (Call) being dropped would strand or
+   un-refund an in-flight swap no matter how little it paid in fees. *)
+let test_mempool_eviction_protects_settlement () =
+  let mk ?payload ~fee i =
+    Tx.make ~chain:"mp-evict" ~inputs:[] ?payload
+      ~outputs:[ { Tx.addr = "nobody"; amount = coin 1 } ]
+      ~fee:(coin fee) ~nonce:(Int64.of_int i) ()
+  in
+  let deposit =
+    mk ~payload:(Tx.Deploy { code_id = "htlc"; args = Value.Unit; deposit = coin 500 }) ~fee:1 0
+  in
+  let refund =
+    mk
+      ~payload:
+        (Tx.Call { contract_id = "c0"; fn = "refund"; args = Value.Unit; deposit = Amount.zero })
+      ~fee:1 1
+  in
+  let mp = Mempool.create ~capacity:4 () in
+  let expect_ok label tx =
+    match Mempool.add mp tx with
+    | Ok evicted -> evicted
+    | Error e -> Alcotest.fail (label ^ ": " ^ e)
+  in
+  ignore (expect_ok "deposit" deposit : Tx.t list);
+  ignore (expect_ok "refund" refund : Tx.t list);
+  ignore (expect_ok "t1" (mk ~fee:10 2) : Tx.t list);
+  ignore (expect_ok "t2" (mk ~fee:10 3) : Tx.t list);
+  (* Pool full. Equal-fee flood: the first two displace the cheap
+     transfers, the rest tie with a resident transfer and bounce — a
+     transfer never outranks Deploy/Call regardless of fee. *)
+  let evicted_payloads = ref [] in
+  for i = 4 to 13 do
+    match Mempool.add mp (mk ~fee:1000 i) with
+    | Ok evicted ->
+        List.iter (fun (tx : Tx.t) -> evicted_payloads := tx.Tx.payload :: !evicted_payloads) evicted
+    | Error e -> Alcotest.(check string) "full, not downgraded" "mempool full" e
+  done;
+  Alcotest.(check int) "only the two cheap transfers churned" 2 (List.length !evicted_payloads);
+  List.iter
+    (fun p -> Alcotest.(check bool) "evictee is a transfer" true (p = Tx.Transfer))
+    !evicted_payloads;
+  Alcotest.(check bool) "deposit survives flood" true (Mempool.mem mp (Tx.txid deposit));
+  Alcotest.(check bool) "refund survives flood" true (Mempool.mem mp (Tx.txid refund));
+  (* A fresh minimum-fee refund still gets in: settlement class beats
+     any transfer, so it displaces one rather than being turned away. *)
+  let refund2 =
+    mk
+      ~payload:
+        (Tx.Call { contract_id = "c1"; fn = "refund"; args = Value.Unit; deposit = Amount.zero })
+      ~fee:1 99
+  in
+  (match Mempool.add mp refund2 with
+  | Ok [ evicted ] ->
+      Alcotest.(check bool) "call displaces a transfer" true (evicted.Tx.payload = Tx.Transfer)
+  | Ok _ -> Alcotest.fail "expected exactly one eviction"
+  | Error e -> Alcotest.fail ("refund call rejected: " ^ e));
+  let refund3 =
+    mk
+      ~payload:
+        (Tx.Call { contract_id = "c2"; fn = "refund"; args = Value.Unit; deposit = Amount.zero })
+      ~fee:1 100
+  in
+  (match Mempool.add mp refund3 with
+  | Ok [ evicted ] ->
+      Alcotest.(check bool) "last transfer displaced" true (evicted.Tx.payload = Tx.Transfer)
+  | Ok _ -> Alcotest.fail "expected exactly one eviction"
+  | Error e -> Alcotest.fail ("refund call rejected: " ^ e));
+  (* All four slots now hold settlement work; even an absurd-fee
+     transfer cannot claw one back. *)
+  match Mempool.add mp (mk ~fee:1_000_000 101) with
+  | Ok _ -> Alcotest.fail "transfer evicted settlement work"
+  | Error e -> Alcotest.(check string) "rejected outright" "mempool full" e
 
 (* --- End-to-end mining over the network ----------------------------------- *)
 
@@ -782,6 +857,42 @@ let test_wallet_pending_outpoint_not_reused () =
            ~until:200_000.0 w.engine);
       Alcotest.(check int64) "both payments landed" 10_000_200L
         (Node.balance_of w.nodes.(0) (Keys.address bob))
+
+let test_wallet_siblings_serialize_on_outpoint () =
+  (* The load engine gives every in-flight swap its own Wallet over a
+     shared identity, so two concurrent swaps contend for the same
+     premine outpoint through *different* wallet instances. Selection
+     consults the node mempool's spent-outpoint index, not per-wallet
+     state: the second wallet must decline rather than emit a
+     conflicting spend the miners would silently drop. *)
+  let w = make_world ~seed:31 () in
+  run_until_height w 2;
+  let node = w.nodes.(0) in
+  let w1 = Wallet.create ~identity:alice ~node in
+  let w2 = Wallet.create ~identity:alice ~node in
+  let txid1 =
+    match Wallet.pay w1 ~to_:(Keys.address bob) ~amount:(coin 100) with
+    | Ok txid -> txid
+    | Error e -> Alcotest.fail e
+  in
+  (match Wallet.pay w2 ~to_:(Keys.address carol) ~amount:(coin 100) with
+  | Error e ->
+      Alcotest.(check bool) "sibling declines pending outpoint" true
+        (Astring.String.is_prefix ~affix:"insufficient" e)
+  | Ok _ -> Alcotest.fail "sibling wallet double-spent a pending outpoint");
+  ignore
+    (Engine.run ~stop:(fun () -> Node.confirmations node txid1 >= 3) ~until:200_000.0 w.engine);
+  (* Once the first spend confirms, its change is fair game and the
+     sibling's retry serializes behind it. *)
+  match Wallet.pay w2 ~to_:(Keys.address carol) ~amount:(coin 100) with
+  | Error e -> Alcotest.fail e
+  | Ok txid2 ->
+      ignore
+        (Engine.run ~stop:(fun () -> Node.confirmations node txid2 >= 3) ~until:200_000.0 w.engine);
+      Alcotest.(check int64) "bob paid exactly once" 10_000_100L
+        (Node.balance_of node (Keys.address bob));
+      Alcotest.(check int64) "carol paid exactly once" 100L
+        (Node.balance_of node (Keys.address carol))
 
 (* --- SPV ---------------------------------------------------------------------- *)
 
@@ -1111,6 +1222,8 @@ let () =
       ( "mempool",
         [
           Alcotest.test_case "order and dedup" `Quick test_mempool_order_and_dedup;
+          Alcotest.test_case "eviction protects settlement" `Quick
+            test_mempool_eviction_protects_settlement;
           QCheck_alcotest.to_alcotest qcheck_mempool_candidates_arrival_order;
         ] );
       ( "e2e",
@@ -1126,6 +1239,8 @@ let () =
           Alcotest.test_case "change output" `Slow test_wallet_change;
           Alcotest.test_case "pending outpoint not reused" `Slow
             test_wallet_pending_outpoint_not_reused;
+          Alcotest.test_case "sibling wallets serialize" `Slow
+            test_wallet_siblings_serialize_on_outpoint;
         ] );
       ( "spv",
         [

@@ -27,15 +27,15 @@ let verdict_string (r : Runner.report) =
 
 let test_sample_deterministic () =
   for seed = 0 to 99 do
-    let spec1, plan1 = Plan.sample ~seed in
-    let spec2, plan2 = Plan.sample ~seed in
+    let spec1, plan1 = Plan.sample ~seed () in
+    let spec2, plan2 = Plan.sample ~seed () in
     Alcotest.(check bool) (Printf.sprintf "spec stable at seed %d" seed) true (spec1 = spec2);
     Alcotest.(check bool) (Printf.sprintf "plan stable at seed %d" seed) true (plan1 = plan2)
   done
 
 let test_plan_json_roundtrip () =
   for seed = 0 to 199 do
-    let spec, plan = Plan.sample ~seed in
+    let spec, plan = Plan.sample ~seed () in
     let spec' = Plan.spec_of_json (Plan.spec_to_json spec) in
     let plan' = Plan.of_string (Plan.to_string plan) in
     Alcotest.(check bool) (Printf.sprintf "spec roundtrips at seed %d" seed) true (spec = spec');
@@ -44,7 +44,7 @@ let test_plan_json_roundtrip () =
 
 let test_plan_times_sorted_and_bounded () =
   for seed = 0 to 199 do
-    let _, plan = Plan.sample ~seed in
+    let _, plan = Plan.sample ~seed () in
     Alcotest.(check bool) "non-empty" true (plan <> []);
     Alcotest.(check bool) "sorted" true (Plan.sort_by_time plan = plan);
     List.iter
@@ -92,7 +92,7 @@ let qcheck_run_deterministic =
   QCheck.Test.make ~name:"same seeded plan twice -> byte-identical run" ~count:3
     (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 400))
     (fun seed ->
-      let spec, plan = Plan.sample ~seed in
+      let spec, plan = Plan.sample ~seed () in
       List.for_all
         (fun protocol ->
           let r1 = Runner.run_one ~spec ~plan ~protocol () in
@@ -110,7 +110,7 @@ let qcheck_replay_equals_original =
   QCheck.Test.make ~name:"serialized plan replays to the original outcome" ~count:3
     (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 400))
     (fun seed ->
-      let spec, plan = Plan.sample ~seed in
+      let spec, plan = Plan.sample ~seed () in
       let reports = Runner.run_all ~spec ~plan () in
       let repro = Repro.of_reports ~note:"property" ~spec ~plan reports in
       let parsed = Repro.of_string (Repro.to_string repro) in
@@ -200,7 +200,7 @@ let test_smoke_sweep () =
 (* Shrinking a known violation drops irrelevant faults and the result
    still fails; weakening never makes a fault stronger. *)
 let test_shrink_seed_92 () =
-  let spec, plan = Plan.sample ~seed:92 in
+  let spec, plan = Plan.sample ~seed:92 () in
   Alcotest.(check bool) "seed 92 fails before shrinking" true
     (Shrink.still_fails ~spec ~protocol:Runner.P_herlihy plan);
   let shrunk = Shrink.shrink ~spec ~protocol:Runner.P_herlihy plan in

@@ -190,7 +190,7 @@ let test_corpus_predicted () =
 
 let test_counterexample_replays () =
   let spec =
-    { Plan.seed = 2026; shape = Plan.Two_party; parties = 2; nchains = 2; extra_edges = 0 }
+    { Plan.seed = 2026; shape = Plan.Two_party; parties = 2; nchains = 2; extra_edges = 0; load = 1 }
   in
   let ids = Scenarios.identities ~ns:"chaos2026-herlihy" ~fresh:true 2 in
   let graph = Runner.build_graph ~spec ~ids ~timestamp:1.0 in

@@ -349,7 +349,7 @@ let test_corpus_replays_all_jobs () =
    shrink trajectory (logged steps) and result must not depend on
    jobs, because candidate evaluation keeps first-by-index semantics. *)
 let test_shrink_jobs_equivalent () =
-  let spec, plan = Plan.sample ~seed:92 in
+  let spec, plan = Plan.sample ~seed:92 () in
   let run jobs =
     let steps = ref [] in
     let log line = steps := line :: !steps in
