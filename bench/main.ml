@@ -662,6 +662,57 @@ let load_bench () =
   close_out oc;
   Fmt.pr "  results written to BENCH_load.json@."
 
+(* --- flow analyzer: throughput over sampled specs ------------------------ *)
+
+module Flow = Ac3_flow.Flow
+module Plan = Ac3_chaos.Plan
+
+(* E16: the flow pass must stay cheap enough to screen every spec a
+   load run launches (lib/load calls Flow.screen on the launch path).
+   Analyze a stream of sampled chaos specs — graph build excluded, the
+   screen includes it — and gate on specs analyzed per second. *)
+let flow_bench () =
+  section "E16 / ac3 flow — abstract-interpretation throughput over sampled specs";
+  let specs = 20_000 in
+  Fmt.pr "%d sampled specs, budget-1 analysis + budget-0 screen per spec;@." specs;
+  Fmt.pr "gate: >= 5000 specs per wall-clock second.@.@.";
+  let inputs =
+    Array.init specs (fun i ->
+        let spec, _ = Plan.sample ~seed:(9000 + i) () in
+        let ids = Ac3_core.Scenarios.identities ~ns:"bench-flow" spec.Plan.parties in
+        let graph = Runner.build_graph ~spec ~ids ~timestamp:1.0 in
+        let profile = if i mod 2 = 0 then Flow.Single_leader else Flow.Witness in
+        (graph, profile))
+  in
+  let exposures = ref 0 in
+  let witnesses = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun (graph, profile) ->
+      let a = Flow.analyze ~fault_budget:1 ~static_races:true ~profile graph in
+      exposures := !exposures + List.length a.Flow.exposures;
+      witnesses := !witnesses + List.length a.Flow.witnesses;
+      ignore (Flow.screen ~profile graph))
+    inputs;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let specs_per_sec = float_of_int specs /. wall_s in
+  Fmt.pr "  %d specs in %.3f s  =>  %.0f specs/s  (%d exposures, %d crash witnesses)@." specs
+    wall_s specs_per_sec !exposures !witnesses;
+  let oc = open_out_bin "BENCH_flow.json" in
+  output_string oc
+    (Json.to_string_pretty
+       (Json.Obj
+          [
+            ("specs", Json.Int specs);
+            ("wall_s", Json.Float wall_s);
+            ("specs_per_sec", Json.Float specs_per_sec);
+            ("exposures", Json.Int !exposures);
+            ("witnesses", Json.Int !witnesses);
+          ]));
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "  results written to BENCH_flow.json@."
+
 let run_bechamel () =
   section "Bechamel micro-benchmarks (one kernel per table/figure)";
   let open Bechamel in
@@ -685,6 +736,7 @@ let () =
   let par_only = Array.exists (fun a -> a = "par") Sys.argv in
   let obs_only = Array.exists (fun a -> a = "obs") Sys.argv in
   let load_only = Array.exists (fun a -> a = "load") Sys.argv in
+  let flow_only = Array.exists (fun a -> a = "flow") Sys.argv in
   Fmt.pr "AC3WN reproduction benchmark harness (seeded, deterministic).@.";
   Fmt.pr "Δ = %.0f virtual seconds (confirm depth %d x %.0f s blocks) in protocol runs.@."
     E.delta E.confirm_depth E.block_interval;
@@ -700,6 +752,11 @@ let () =
   end;
   if load_only then begin
     load_bench ();
+    Fmt.pr "@.Done.@.";
+    exit 0
+  end;
+  if flow_only then begin
+    flow_bench ();
     Fmt.pr "@.Done.@.";
     exit 0
   end;
@@ -719,5 +776,6 @@ let () =
   if not quick then par_scaling ~runs:50 ();
   if not quick then obs_overhead ~runs:50 ();
   if not quick then load_bench ();
+  if not quick then flow_bench ();
   run_bechamel ();
   Fmt.pr "@.Done.@."

@@ -3,6 +3,7 @@
      ac3 swap     — execute an AC2T on the simulator with a chosen protocol
      ac3 verify   — static verification: graph lints, timelocks, state machines
      ac3 check    — model-check whole transactions across every interleaving
+     ac3 flow     — economic-safety abstract interpretation: value-flow intervals
      ac3 analyze  — print the paper's analytical models (Sec 6)
      ac3 attack   — run 51% witness-attack races (Sec 6.3)
      ac3 chaos    — seeded fault-injection sweeps with the atomicity oracle
@@ -18,6 +19,9 @@
      dune exec bin/ac3.exe -- verify --json
      dune exec bin/ac3.exe -- check --protocol ac3wn
      dune exec bin/ac3.exe -- check --protocol herlihy --scenario two-party --export ce.json
+     dune exec bin/ac3.exe -- flow --json
+     dune exec bin/ac3.exe -- flow --fault-budget 0
+     dune exec bin/ac3.exe -- flow --profile single-leader --export f001.json
      dune exec bin/ac3.exe -- analyze
      dune exec bin/ac3.exe -- attack -q 0.35 --trials 500
      dune exec bin/ac3.exe -- chaos --seed 7 --runs 50
@@ -185,7 +189,7 @@ let report_outcome ~trace ~outcome ~atomic ~committed ~latency ~delta =
   (match latency with
   | Some l -> Fmt.pr "latency = %.1f virtual s = %.2f Δ@." l (l /. delta)
   | None -> Fmt.pr "did not complete within the timeout@.");
-  if atomic then 0 else 2
+  if atomic then 0 else 3
 
 let run_swap protocol scenario parties seed crash verbose metrics_out trace_out =
   setup_logs verbose;
@@ -361,7 +365,7 @@ let run_verify protocol scenario parties delta slack max_nodes json quiet =
   if json then begin
     print_string (Json.to_string_pretty (Diagnostic.sections_to_json sections));
     print_newline ();
-    if List.exists (fun (_, diags) -> Diagnostic.has_errors diags) sections then 2 else 0
+    if List.exists (fun (_, diags) -> Diagnostic.has_errors diags) sections then 3 else 0
   end
   else begin
     let failures = List.filter (fun sec -> print_section ~quiet sec) sections in
@@ -372,7 +376,7 @@ let run_verify protocol scenario parties delta slack max_nodes json quiet =
     else begin
       Fmt.pr "@.verify: %d of %d section(s) FAILED@." (List.length failures)
         (List.length sections);
-      2
+      3
     end
   end
 
@@ -526,7 +530,7 @@ let chaos_replay ~jobs ~metrics_out ~trace_out path =
   end
   else begin
     Fmt.pr "replay: MISMATCH — behavior differs from the recorded reproducer@.";
-    2
+    3
   end
 
 let chaos_shrink ~seed ~protocol ~load ~jobs ~out ~metrics_out ~trace_out =
@@ -594,7 +598,9 @@ let run_chaos seed runs protocol load replay shrink out jobs sanitize verbose me
         | summary ->
             export_obs ?metrics_out ?trace_out summary.Runner.obs;
             Fmt.pr "%a@." Runner.pp_summary summary;
-            if summary.Runner.unexplained_failures > 0 then 3 else 0
+            if summary.Runner.unexplained_failures > 0 || summary.Runner.interval_violations > 0
+            then 3
+            else 0
         | exception Pool.Interference { index; first; rerun } ->
             sanitize_failure ~index ~first ~rerun
       end
@@ -775,7 +781,7 @@ let run_check protocol scenario parties delta slack crashes max_nodes json expor
     print_string
       (Json.to_string_pretty (Json.Obj [ ("ok", Json.Bool ok); ("sections", Json.List sections) ]));
     print_newline ();
-    if ok then 0 else 2
+    if ok then 0 else 3
   end
   else begin
     List.iter
@@ -791,7 +797,7 @@ let run_check protocol scenario parties delta slack crashes max_nodes json expor
       let failed = List.filter (fun (_, _, _, r) -> not (MC.ok r)) results in
       Fmt.pr "@.check: %d of %d section(s) found violations@." (List.length failed)
         (List.length results);
-      2
+      3
     end
   end
 
@@ -846,6 +852,152 @@ let check_cmd =
       const run_check $ protocol $ scenario $ parties $ delta $ slack $ crashes $ max_nodes $ json
       $ export $ seed $ jobs_arg $ sanitize_arg $ quiet $ metrics_out_arg $ trace_out_arg)
 
+(* --- flow ------------------------------------------------------------------- *)
+
+module Flow = Ac3_flow.Flow
+module Flow_lint = Ac3_verify.Flow_lint
+module Flow_repro = Ac3_chaos.Flow_repro
+
+let flow_profile_conv =
+  Arg.enum [ ("single-leader", Flow.Single_leader); ("witness", Flow.Witness) ]
+
+let flow_profile_name = function
+  | Flow.Single_leader -> "single-leader"
+  | Flow.Witness -> "witness"
+
+(* Which scenarios each commitment profile defaults to — the same
+   pairing the model checker uses (Herlihy/Nolan settle through a
+   single leader's secret; AC3WN settles through the witness network). *)
+let flow_scenarios = function
+  | Flow.Single_leader -> [ Two_party; Ring ]
+  | Flow.Witness -> all_scenarios
+
+let export_flow_witness ~path ~parties ~seed results =
+  match
+    List.find_opt (fun (p, _, a) -> p = Flow.Single_leader && a.Flow.witnesses <> []) results
+  with
+  | None -> Fmt.epr "export: no F001 witness to concretize@."
+  | Some (_, s, a) ->
+      let w = List.hd a.Flow.witnesses in
+      let spec = check_spec ~scenario:s ~parties ~seed in
+      let note =
+        Printf.sprintf "F001-crash-exposure witness: party %d on %s" w.Flow.victim_index
+          (scenario_name s)
+      in
+      let outcome =
+        Flow_repro.concretize ~note ~spec ~protocol:MC.Herlihy ~victims:w.Flow.crash ()
+      in
+      let oc = open_out_bin path in
+      output_string oc (Repro.to_string outcome.Flow_repro.repro);
+      close_out oc;
+      Fmt.epr "export: F001 concretized in %d dynamic run(s), %s; reproducer written to %s@."
+        outcome.Flow_repro.attempts
+        (if outcome.Flow_repro.confirmed then "exposure CONFIRMED on the simulator"
+         else "not confirmed dynamically")
+        path
+
+let run_flow profile scenario parties budget json export seed jobs sanitize quiet =
+  let pairs =
+    let profiles =
+      match profile with Some p -> [ p ] | None -> [ Flow.Single_leader; Flow.Witness ]
+    in
+    List.concat_map
+      (fun p ->
+        let scenarios = match scenario with Some s -> [ s ] | None -> flow_scenarios p in
+        List.map (fun s -> (p, s)) scenarios)
+      profiles
+  in
+  match
+    Pool.map ~jobs ~sanitize
+      (fun (p, s) ->
+        let spec = check_spec ~scenario:s ~parties ~seed in
+        let ids = S.identities ~ns:"flow" spec.Plan.parties in
+        let graph = Runner.build_graph ~spec ~ids ~timestamp:1.0 in
+        (p, s, Flow.analyze ~fault_budget:budget ~profile:p graph))
+      pairs
+  with
+  | exception Pool.Interference { index; first; rerun } -> sanitize_failure ~index ~first ~rerun
+  | results ->
+      Option.iter (fun path -> export_flow_witness ~path ~parties ~seed results) export;
+      let sections =
+        List.map
+          (fun (p, s, a) ->
+            ( Printf.sprintf "flow %s (%s, budget %d)" (flow_profile_name p) (scenario_name s)
+                budget,
+              Diagnostic.dedupe (Flow_lint.of_analysis a) ))
+          results
+      in
+      if json then begin
+        print_string (Json.to_string_pretty (Diagnostic.sections_to_json sections));
+        print_newline ();
+        if List.exists (fun (_, diags) -> Diagnostic.has_errors diags) sections then 3 else 0
+      end
+      else begin
+        let failures = List.filter (fun sec -> print_section ~quiet sec) sections in
+        if failures = [] then begin
+          Fmt.pr "@.flow: %d section(s), every exposure inside its interval hull@."
+            (List.length sections);
+          0
+        end
+        else begin
+          Fmt.pr "@.flow: %d of %d section(s) FAILED@." (List.length failures)
+            (List.length sections);
+          3
+        end
+      end
+
+let flow_cmd =
+  let profile =
+    Arg.(
+      value
+      & opt (some flow_profile_conv) None
+      & info [ "profile"; "p" ]
+          ~doc:
+            "Restrict to one commitment profile, $(b,single-leader) or $(b,witness) (default: \
+             both).")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some scenario_conv) None
+      & info [ "scenario"; "s" ] ~doc:"Restrict to one scenario graph.")
+  in
+  let parties = Arg.(value & opt int 4 & info [ "parties"; "n" ] ~doc:"Ring size (ring scenario).") in
+  let budget =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-budget" ]
+          ~doc:
+            "Crash faults the adversary may spend. 0 bounds crash-free executions only; any \
+             positive budget widens every non-leader to its full crash exposure.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output with stable field order.")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Concretize the first F001 crash witness into a chaos reproducer JSON (replayable \
+             with $(b,ac3 chaos --replay)).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 2026
+      & info [ "seed" ] ~doc:"Seed for the analyzed graphs and the exported reproducer's universe.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Hide info-level diagnostics.") in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Economic-safety abstract interpretation: per-participant intervals of net value deltas \
+          reachable under any commit/abort/crash interleaving within a fault budget")
+    Term.(
+      const run_flow $ profile $ scenario $ parties $ budget $ json $ export $ seed $ jobs_arg
+      $ sanitize_arg $ quiet)
+
 (* --- lint ------------------------------------------------------------------- *)
 
 module Lint = Ac3_lint.Lint
@@ -853,7 +1005,7 @@ module Lint_baseline = Ac3_lint.Baseline
 
 (* Static analysis over the repo's own sources: determinism and
    parallel-safety rules D001-D008. Same output conventions as verify:
-   one section, Diagnostic rendering, shared --json schema, exit 2 on
+   one section, Diagnostic rendering, shared --json schema, exit 3 on
    any unsuppressed finding. *)
 let run_lint root roots baseline_path no_baseline update_baseline json quiet =
   let roots = if roots = [] then Lint.default_roots else roots in
@@ -884,7 +1036,7 @@ let run_lint root roots baseline_path no_baseline update_baseline json quiet =
         (List.length outcome.Lint.findings)
         outcome.Lint.suppressed outcome.Lint.baselined
     end;
-    if Lint.ok outcome then 0 else 2
+    if Lint.ok outcome then 0 else 3
   end
 
 let lint_cmd =
@@ -964,7 +1116,7 @@ let run_load swaps seed users chains rate clients think zipf mix abandon deadlin
       if non_atomic > 0 then 3 else 0
   | exception Invalid_argument msg ->
       Fmt.epr "load: %s@." msg;
-      2
+      1
   | exception Pool.Interference { index; first; rerun } -> sanitize_failure ~index ~first ~rerun
 
 let load_cmd =
@@ -1092,7 +1244,7 @@ let run_metrics protocol scenario parties seed metrics_out trace_out =
     (U.metrics u);
   Fmt.pr "@.Span tree:@.%a@." Span.pp (U.spans u);
   export_obs ?metrics_out ?trace_out (U.obs u);
-  if atomic then 0 else 2
+  if atomic then 0 else 3
 
 let metrics_cmd =
   let protocol =
@@ -1115,6 +1267,6 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "ac3" ~doc)
           [
-            swap_cmd; verify_cmd; check_cmd; lint_cmd; analyze_cmd; attack_cmd; chaos_cmd;
+            swap_cmd; verify_cmd; check_cmd; flow_cmd; lint_cmd; analyze_cmd; attack_cmd; chaos_cmd;
             load_cmd; metrics_cmd;
           ]))

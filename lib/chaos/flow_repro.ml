@@ -1,0 +1,23 @@
+(* Concretize lib/flow F001 witnesses into replayable chaos reproducers.
+
+   An F001 witness already names the crash set abstractly: the victim's
+   own crash (withholding) is what realizes the worse-off-than-abort
+   settlement. Party indices in Ac2t.participants order coincide with
+   the runner's identity order for every scenario builder, so the
+   witness indices are exactly the Plan.Crash party indices — the rest
+   (the crash-time ladder, the oracle confirmation, the packaging into
+   a Repro.t with fresh-run expectations) is shared with the
+   model-checker bridge. *)
+
+module Semantics = Ac3_model.Semantics
+
+type outcome = Model_repro.outcome = {
+  repro : Repro.t;
+  confirmed : bool;
+  attempts : int;
+}
+
+let concretize ?(note = "flow F001 witness") ~spec ~protocol ~victims () =
+  Model_repro.concretize ~note ~spec ~protocol
+    ~schedule:(List.map (fun p -> Semantics.Crash p) victims)
+    ()

@@ -1,0 +1,29 @@
+(** Concretize {!Ac3_flow.Flow} F001 witnesses into replayable chaos
+    reproducers.
+
+    The flow analyzer's F001 finding carries the crash set as party
+    indices (in [Ac2t.participants] order — the same order the runner
+    builds identities in). [concretize] turns those indices into timed
+    [Plan.Crash] faults via the same ladder search as
+    {!Model_repro.concretize}, keeping the first plan whose dynamic run
+    the oracle flags as a lost deposit; the resulting {!Repro.t}
+    replays bit-identically. *)
+
+type outcome = Model_repro.outcome = {
+  repro : Repro.t;
+  confirmed : bool;
+      (** some candidate plan made the oracle report [deposit_lost]
+          under the target protocol *)
+  attempts : int;  (** dynamic runs spent searching for a confirming time *)
+}
+
+(** [concretize ~spec ~protocol ~victims ()] — [victims] are the party
+    indices to crash ({!Ac3_flow.Flow.witness.crash}). With an empty
+    list the plan is empty and [confirmed] is false. *)
+val concretize :
+  ?note:string ->
+  spec:Plan.spec ->
+  protocol:Ac3_model.Checker.protocol ->
+  victims:int list ->
+  unit ->
+  outcome

@@ -46,6 +46,9 @@ type report = {
   spec : Plan.spec;
   plan : Plan.t;
   exec : exec;
+  flow_violations : Ac3_flow.Flow.violation list;
+      (** settled deltas outside the static value intervals — a lib/flow
+          soundness bug by construction, like [unexplained] *)
   trace : Trace.t option;  (** the protocol's own event log *)
   chaos_trace : Trace.t option;  (** universe log: the faults that fired *)
   obs : Obs.t;  (** the run universe's metrics and spans *)
@@ -187,7 +190,7 @@ let run_one ?instrument ~spec ~plan ~protocol () =
       "run"
   in
   let bg_handles = launch_background ~universe ~spec ~bg in
-  let finish ?trace exec =
+  let finish ?trace ?(flow = []) exec =
     let bg_settled = List.length (List.filter Nolan.settled bg_handles) in
     List.iter (fun h -> ignore (Nolan.finish h : Nolan.result)) bg_handles;
     (if bg_handles <> [] then
@@ -219,12 +222,31 @@ let run_one ?instrument ~spec ~plan ~protocol () =
       spec;
       plan;
       exec;
+      flow_violations = flow;
       trace;
       chaos_trace = Some (Universe.trace universe);
       obs = Universe.obs universe;
     }
   in
   let graph = build_graph ~spec ~ids ~timestamp:(Universe.now universe) in
+  (* Every verdict is also checked against the static value intervals:
+     the settled per-(participant, chain) deltas the oracle observed
+     must lie inside lib/flow's budget-1 hull. Any escape is a flow
+     soundness bug, which the sweep surfaces like [unexplained]. *)
+  let flow_check (v : Oracle.verdict) =
+    let module Flow = Ac3_flow.Flow in
+    let profile =
+      match protocol with P_nolan | P_herlihy -> Flow.Single_leader | P_ac3wn -> Flow.Witness
+    in
+    let to_settlement = function
+      | Ac3_core.Outcome.Missing -> Flow.S_unpublished
+      | Ac3_core.Outcome.Published -> Flow.S_published
+      | Ac3_core.Outcome.Redeemed -> Flow.S_redeemed
+      | Ac3_core.Outcome.Refunded -> Flow.S_refunded
+    in
+    let analysis = Flow.analyze ~fault_budget:1 ~static_races:true ~profile graph in
+    Flow.violations analysis graph (List.map to_settlement v.Oracle.statuses)
+  in
   let delta = Universe.max_delta universe in
   let single_leader_config = { (Herlihy.default_config ~delta) with timeout = protocol_timeout } in
   let start_time = Universe.now universe in
@@ -240,20 +262,22 @@ let run_one ?instrument ~spec ~plan ~protocol () =
         Inject.install ~universe ~participants plan;
         match Nolan.execute universe ~config:single_leader_config ~graph ~participants () with
         | result ->
-            finish ~trace:result.Herlihy.trace
-              (Verdict
-                 (Oracle.check ~universe ~graph ~contracts:result.Herlihy.contracts
-                    ~static:static_single))
+            let v =
+              Oracle.check ~universe ~graph ~contracts:result.Herlihy.contracts
+                ~static:static_single
+            in
+            finish ~trace:result.Herlihy.trace ~flow:(flow_check v) (Verdict v)
         | exception Invalid_argument msg -> finish (Rejected msg)
       end
   | P_herlihy -> begin
       Inject.install ~universe ~participants plan;
       match Herlihy.execute universe ~config:single_leader_config ~graph ~participants () with
       | Ok result ->
-          finish ~trace:result.Herlihy.trace
-            (Verdict
-               (Oracle.check ~universe ~graph ~contracts:result.Herlihy.contracts
-                  ~static:static_single))
+          let v =
+            Oracle.check ~universe ~graph ~contracts:result.Herlihy.contracts
+              ~static:static_single
+          in
+          finish ~trace:result.Herlihy.trace ~flow:(flow_check v) (Verdict v)
       | Error msg -> finish (Rejected msg)
     end
   | P_ac3wn ->
@@ -267,8 +291,8 @@ let run_one ?instrument ~spec ~plan ~protocol () =
         }
       in
       let result = Ac3wn.execute universe ~config ~graph ~participants ~abort_after:250.0 () in
-      finish ~trace:result.Ac3wn.trace
-        (Verdict (Oracle.check ~universe ~graph ~contracts:result.Ac3wn.contracts ~static:Witness))
+      let v = Oracle.check ~universe ~graph ~contracts:result.Ac3wn.contracts ~static:Witness in
+      finish ~trace:result.Ac3wn.trace ~flow:(flow_check v) (Verdict v)
 
 (* Fingerprint of everything observable about a report. Reports hold
    closures and custom blocks (obs contexts, traces), so the generic
@@ -287,9 +311,14 @@ let report_fingerprint r =
     | Rejected msg -> "rejected " ^ msg
     | Skipped msg -> "skipped " ^ msg
   in
+  let flow =
+    match r.flow_violations with
+    | [] -> "flow-ok"
+    | vs -> String.concat ";" (List.map (Fmt.str "%a" Ac3_flow.Flow.pp_violation) vs)
+  in
   String.concat "|"
     [
-      protocol_name r.protocol; Plan.to_string r.plan; exec;
+      protocol_name r.protocol; Plan.to_string r.plan; exec; flow;
       Ac3_crypto.Codec.Json.to_string (Metrics.to_json r.obs.Obs.metrics);
     ]
 
@@ -340,6 +369,7 @@ type summary = {
   per_protocol : (protocol * counts) list;
   failures : failure list;
   unexplained_failures : int;
+  interval_violations : int;  (** runs whose settled deltas escaped the flow intervals *)
   obs : Obs.t;  (** per-run contexts merged in (run, protocol) order *)
 }
 
@@ -384,6 +414,7 @@ let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ?(instrument = tru
   let per = List.map (fun p -> (p, zero_counts ())) protocols in
   let failures = ref [] in
   let unexplained_failures = ref 0 in
+  let interval_violations = ref 0 in
   (* Per-run observability contexts merge in the same sequential (run,
      protocol) order as the tally below, which is what makes the merged
      registry and span forest byte-identical for every [jobs]. *)
@@ -395,6 +426,7 @@ let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ?(instrument = tru
           tally counts r.exec;
           if failed r then failures := { fail_seed = run_seed; fail_protocol = r.protocol } :: !failures;
           if unexplained r then incr unexplained_failures;
+          if r.flow_violations <> [] then incr interval_violations;
           Metrics.merge_into ~into:obs.Obs.metrics r.obs.Obs.metrics;
           Span.import ~into:obs.Obs.spans r.obs.Obs.spans;
           match on_report with None -> () | Some f -> f r)
@@ -406,6 +438,7 @@ let sweep ?(protocols = all_protocols) ?on_report ?(jobs = 1) ?(instrument = tru
     per_protocol = per;
     failures = List.rev !failures;
     unexplained_failures = !unexplained_failures;
+    interval_violations = !interval_violations;
     obs;
   }
 
@@ -428,4 +461,9 @@ let pp_summary ppf s =
   if s.unexplained_failures > 0 then
     Fmt.pf ppf "@,  UNEXPLAINED: %d violation(s) with no fault and a clean static verdict"
       s.unexplained_failures;
+  (* Printed only when nonzero so clean sweep output stays byte-stable
+     across the introduction of the interval cross-check. *)
+  if s.interval_violations > 0 then
+    Fmt.pf ppf "@,  INTERVAL: %d run(s) settled outside the static value intervals"
+      s.interval_violations;
   Fmt.pf ppf "@]"

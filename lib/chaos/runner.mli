@@ -23,6 +23,10 @@ type report = {
   spec : Plan.spec;
   plan : Plan.t;
   exec : exec;
+  flow_violations : Ac3_flow.Flow.violation list;
+      (** settled per-(participant, chain) deltas outside the static
+          {!Ac3_flow.Flow} budget-1 intervals — a flow soundness bug by
+          construction, surfaced like [unexplained] *)
   trace : Ac3_sim.Trace.t option;  (** the protocol's own event log *)
   chaos_trace : Ac3_sim.Trace.t option;  (** universe log: faults that fired *)
   obs : Ac3_obs.Obs.t;  (** the run universe's metrics and spans *)
@@ -100,6 +104,8 @@ type summary = {
   per_protocol : (protocol * counts) list;
   failures : failure list;
   unexplained_failures : int;
+  interval_violations : int;
+      (** runs whose settled deltas escaped the static flow intervals *)
   obs : Ac3_obs.Obs.t;
       (** the per-run observability contexts merged in sequential (run,
           protocol) order — byte-identical for every [jobs] value *)

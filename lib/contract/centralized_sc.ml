@@ -12,6 +12,8 @@ open Ac3_chain
 
 let code_id = "ac3tw-swap"
 
+let econ = Econ.swap ~code_id
+
 (* The message Trent signs for a decision on ms(D). *)
 let decision_message ~ms_id decision =
   let w = Codec.Writer.create () in

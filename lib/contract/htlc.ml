@@ -13,6 +13,8 @@ open Ac3_chain
 
 let code_id = "htlc"
 
+let econ = Econ.swap ~code_id
+
 module Commitment = struct
   let code_id = code_id
 

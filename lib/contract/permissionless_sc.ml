@@ -16,6 +16,8 @@ open Ac3_chain
 
 let code_id = "ac3wn-swap"
 
+let econ = Econ.swap ~code_id
+
 let authorize_redeem_fn = "authorize_redeem"
 
 let authorize_refund_fn = "authorize_refund"

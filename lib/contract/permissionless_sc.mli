@@ -38,3 +38,7 @@ val args :
 val binding_of_args : Value.t -> (string * string * int, string) result
 
 val recipient_of_args : Value.t -> (string, string) result
+
+(** Declared value semantics (Algorithm 1: full-deposit escrow,
+    conserving redeem/refund). *)
+val econ : Econ.t

@@ -40,3 +40,7 @@ val get_evidence_depth : Value.t -> (int, string) result
 val checkpoint_for : Value.t -> string -> (Block.header, string) result
 
 module Code : Contract_iface.CODE
+
+(** Declared value semantics: SCw escrows nothing and pays nothing;
+    deposits live in the per-edge contracts. *)
+val econ : Econ.t

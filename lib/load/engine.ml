@@ -256,6 +256,27 @@ let run_universe ?(instrument = true) ~seed (config : Workload.config) =
     in
     let participants = [ pa; pb ] in
     let pname = Workload.protocol_name spec.protocol in
+    (* Economic pre-launch screen: O(E) over the swap's graph. A spec
+       whose contract economics mint value, strand deposits, or cannot
+       refund is rejected before it ever touches a chain. The counter
+       is registered lazily so clean workloads (every shipped profile)
+       keep a byte-identical metrics registry. *)
+    let screened =
+      let profile =
+        match spec.protocol with
+        | Workload.Nolan | Workload.Herlihy -> Ac3_flow.Flow.Single_leader
+        | Workload.Ac3wn -> Ac3_flow.Flow.Witness
+      in
+      Ac3_flow.Flow.screen ~profile graph
+    in
+    if screened <> [] then begin
+      Metrics.incr (Metrics.counter m ~labels:[ ("protocol", pname) ] "load.swap.screened");
+      Metrics.incr (finished_c pname Rejected);
+      results.(spec.index) <- Some { spec; cls = Rejected; latency = None; phases = [] };
+      incr accounted;
+      !on_free ()
+    end
+    else begin
     Metrics.incr (launched_c pname);
     let outcome =
       try
@@ -312,6 +333,7 @@ let run_universe ?(instrument = true) ~seed (config : Workload.config) =
         results.(spec.index) <- Some { spec; cls = Rejected; latency = None; phases = [] };
         incr accounted;
         !on_free ()
+    end
   in
   (* Arrivals. *)
   (match config.arrival with

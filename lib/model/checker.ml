@@ -84,7 +84,27 @@ let check ~config ~protocol ~graph =
           }
       | Ok model ->
           let t = Explore.run ~max_nodes:config.max_nodes model in
-          let diagnostics, violations = Rules.check t in
+          let flow =
+            (* The M006 cross-validation: the intervals must bound every
+               settled state the explorer reaches, under the same crash
+               budget. A timelock-order error is the statically-known
+               race that widens the crash-free hull. *)
+            let profile =
+              match protocol with
+              | Herlihy | Nolan -> Ac3_flow.Flow.Single_leader
+              | Ac3wn -> Ac3_flow.Flow.Witness
+            in
+            let static_races =
+              match protocol with
+              | Ac3wn -> false
+              | Herlihy | Nolan ->
+                  Diagnostic.has_errors
+                    (Ac3_verify.Timelock.verify ~graph ~delta:config.delta
+                       ~timelock_slack:config.timelock_slack ~start_time:config.start_time)
+            in
+            Ac3_flow.Flow.analyze ~fault_budget:config.crash_budget ~static_races ~profile graph
+          in
+          let diagnostics, violations = Rules.check ~flow t in
           {
             protocol;
             diagnostics;

@@ -164,6 +164,43 @@ let m004 t =
     !forks @ code_level
   end
 
+(* --- M006 ------------------------------------------------------------- *)
+
+(* Cross-validation of lib/flow: every settled state the explorer can
+   reach must have per-(party, chain) value deltas inside the static
+   intervals. Exhaustive where the chaos sweep is sampled — the model
+   is the ground truth the abstract interpretation claims to bound. *)
+let m006 ?flow t =
+  match flow with
+  | None -> ([], [])
+  | Some analysis -> (
+      let m = t.Explore.model in
+      let to_settlement = function
+        | Unpublished -> Ac3_flow.Flow.S_unpublished
+        | Published -> Ac3_flow.Flow.S_published
+        | Redeemed -> Ac3_flow.Flow.S_redeemed
+        | Refunded -> Ac3_flow.Flow.S_refunded
+      in
+      let offenders s =
+        Ac3_flow.Flow.violations analysis m.Semantics.graph
+          (Array.to_list (Array.map to_settlement s.edges))
+      in
+      match
+        Explore.find_first t (fun n ->
+            Global_state.settled n.Explore.state && offenders n.Explore.state <> [])
+      with
+      | None -> ([], [])
+      | Some id ->
+          let v = violation t "M006-interval-unsound" id in
+          ( [
+              Diagnostic.error ~rule:v.rule ~location:(loc id)
+                "a reachable settled state escapes the static value intervals (%a): the \
+                 flow abstract interpretation is unsound on this graph; schedule:\n%s"
+                (Fmt.list ~sep:(Fmt.any ", ") Ac3_flow.Flow.pp_violation)
+                (offenders v.state) (render_schedule t v.schedule);
+            ],
+            [ v ] ))
+
 (* --- M005 + summary --------------------------------------------------- *)
 
 let m005 t =
@@ -182,9 +219,10 @@ let summary t =
       t.Explore.n_nodes t.Explore.n_transitions t.Explore.por_skipped t.Explore.peak_frontier;
   ]
 
-let check t =
+let check ?flow t =
   let d1, v1 = m001 t in
   let d2, v2 = m002 t in
   let d3, v3 = m003 t in
   let d4 = m004 t in
-  (summary t @ d1 @ d2 @ d3 @ d4 @ m005 t, v1 @ v2 @ v3)
+  let d6, v6 = m006 ?flow t in
+  (summary t @ d1 @ d2 @ d3 @ d4 @ m005 t @ d6, v1 @ v2 @ v3 @ v6)

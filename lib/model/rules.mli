@@ -13,6 +13,10 @@
     - [M004-witness-fork]      (error) the witness decision is not
       absorbing — checked on the product and against the real SCw code.
     - [M005-truncated]         (warning) the node bound was hit.
+    - [M006-interval-unsound]  (error) a reachable settled state has a
+      per-(party, chain) value delta outside the static intervals of
+      the given {!Ac3_flow.Flow} analysis: the abstract interpretation
+      failed to bound the model, which is its ground truth.
 
     Each violation carries the shortest event schedule reaching it,
     which {!Ac3_chaos.Model_repro} can concretize into a replayable
@@ -26,5 +30,6 @@ type violation = {
 }
 
 (** All rules over an explored product; returns (diagnostics in rule
-    order, violations with schedules). *)
-val check : Explore.t -> Ac3_verify.Diagnostic.t list * violation list
+    order, violations with schedules). [flow], when given, enables the
+    M006 cross-validation against the static value intervals. *)
+val check : ?flow:Ac3_flow.Flow.analysis -> Explore.t -> Ac3_verify.Diagnostic.t list * violation list

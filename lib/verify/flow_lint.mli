@@ -1,0 +1,45 @@
+(** Pass 4: economic-safety lints, rendered from the {!Ac3_flow.Flow}
+    abstract interpretation (the F rule family).
+
+    - [F000-exposure] (info): per-participant interval summary.
+    - [F001-worse-off] (error): a fault-budget crash settles a
+      participant strictly below the all-abort outcome; the message
+      carries the concrete witness (crashed party, redeemed and
+      refunded edges, secret path).
+    - [F002-unfunded-escrow]: escrow on a chain not covered by incoming
+      value there — info when the participant brings the funds itself
+      (a net payer's opening escrow), warning when incoming value
+      exists but falls short (the participant must top up mid-swap).
+    - [F003-stranded-deposit] (error): the economic profile has no
+      refund path, so every abort strands the deposit.
+    - [F004-fee-bleed] (warning): positive per-call fee with an
+      unbounded retry budget.
+    - [F005-nonconserving] (error): settlement mints or strands value
+      relative to the escrowed deposit (subsumes the retired ad-hoc
+      conservation sums).
+    - [F006-widened-races] (warning): budget-0 intervals were widened
+      because the timelock pass found a race.
+    - [F007-asymmetric-exposure] (warning): non-leader parties carry
+      F001 crash exposure the leader does not. *)
+
+module Ac2t = Ac3_contract.Ac2t
+module Econ = Ac3_contract.Econ
+module Flow = Ac3_flow.Flow
+
+(** Render an already-computed analysis. *)
+val of_analysis : Flow.analysis -> Diagnostic.t list
+
+(** Analyze and render in one step (same defaults as {!Flow.analyze}). *)
+val lint :
+  ?fault_budget:int ->
+  ?econ:Econ.t ->
+  ?static_races:bool ->
+  profile:Flow.profile ->
+  Ac2t.t ->
+  Diagnostic.t list
+
+(** The retired pass-1 conservation rules, now read off the flow
+    exposures: the [G009-value-delta] per-participant commit-delta
+    summary and the [G007-net-payer] warning, byte-compatible with
+    their original renderings. *)
+val conservation : Ac2t.edge list -> Diagnostic.t list

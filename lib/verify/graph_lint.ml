@@ -16,14 +16,6 @@ let short pk = Hex.short ~n:6 pk
 let edge_loc i (e : Ac2t.edge) =
   Fmt.str "edge %d (%s->%s @%s)" i (short e.Ac2t.from_pk) (short e.Ac2t.to_pk) e.Ac2t.chain
 
-(* Participants in first-appearance order, as Ac2t.participants. *)
-let participants_of edges =
-  List.fold_left
-    (fun acc (e : Ac2t.edge) ->
-      let add acc pk = if List.mem pk acc then acc else acc @ [ pk ] in
-      add (add acc e.Ac2t.from_pk) e.Ac2t.to_pk)
-    [] edges
-
 (* --- G001-G004: local edge checks --------------------------------------- *)
 
 let lint_edges (edges : Ac2t.edge list) =
@@ -115,51 +107,10 @@ let structure_lints ~profile graph =
 
 (* --- G007/G009: value conservation ---------------------------------------- *)
 
-let conservation_lints edges =
-  let participants = participants_of edges in
-  let delta = Hashtbl.create 16 in
-  (* Per (participant, chain): received - paid of a full commit, in the
-     chain's units (amounts on different chains are not comparable). *)
-  let bump pk chain signed =
-    let key = (pk, chain) in
-    let v = Option.value ~default:0L (Hashtbl.find_opt delta key) in
-    Hashtbl.replace delta key (Int64.add v signed)
-  in
-  List.iter
-    (fun (e : Ac2t.edge) ->
-      let a = Amount.to_int64 e.Ac2t.amount in
-      bump e.Ac2t.to_pk e.Ac2t.chain a;
-      bump e.Ac2t.from_pk e.Ac2t.chain (Int64.neg a))
-    edges;
-  List.concat_map
-    (fun pk ->
-      let receives = List.exists (fun (e : Ac2t.edge) -> String.equal e.Ac2t.to_pk pk) edges in
-      let pays = List.exists (fun (e : Ac2t.edge) -> String.equal e.Ac2t.from_pk pk) edges in
-      let location = Fmt.str "participant %s" (short pk) in
-      let deltas =
-        List.filter_map
-          (fun ((p, chain), v) -> if String.equal p pk then Some (chain, v) else None)
-          (* ac3-lint: allow D001 — unique (participant, chain) keys; sorted by chain below *)
-          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) delta [])
-      in
-      let deltas = List.sort (fun (c1, _) (c2, _) -> String.compare c1 c2) deltas in
-      let summary =
-        Diagnostic.info ~rule:"G009-value-delta" ~location "commit delta: %a"
-          (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (c, v) -> Fmt.pf ppf "%+Ld@%s" v c))
-          deltas
-      in
-      let net_payer =
-        if pays && not receives then
-          [
-            Diagnostic.warning ~rule:"G007-net-payer" ~location
-              "pays on %d edge(s) but receives on none: a commit strictly loses this \
-               participant assets, so it has no incentive to cooperate"
-              (List.length (List.filter (fun (e : Ac2t.edge) -> String.equal e.Ac2t.from_pk pk) edges));
-          ]
-        else []
-      in
-      summary :: net_payer)
-    participants
+(* The ad-hoc per-participant delta sums that used to live here are now
+   a projection of the flow exposures; Flow_lint renders them under the
+   original rule ids and message shapes. *)
+let conservation_lints edges = Flow_lint.conservation edges
 
 (* --- G008: chain capacity -------------------------------------------------- *)
 

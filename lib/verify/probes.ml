@@ -24,6 +24,14 @@ let swap_cls state =
   else if Swap_template.is_published state then State_machine.Published
   else State_machine.Other
 
+(* Settlement payee of a template state: redemption pays the recipient,
+   refund pays the sender, nothing else may pay at all. *)
+let swap_payee state cls =
+  match (cls : State_machine.cls) with
+  | State_machine.Redeemed -> Result.to_option (Swap_template.get_recipient_addr state)
+  | State_machine.Refunded -> Result.to_option (Swap_template.get_sender_addr state)
+  | State_machine.Published | State_machine.Other -> None
+
 let probe ~label ~fn ~args ~caller ~time = { State_machine.label; fn; args; caller; time }
 
 (* Every (fn, secret-variant) x (caller) x (time-region) combination. *)
@@ -63,6 +71,7 @@ let htlc ?(deposit = Amount.of_int 1000) ?(timelock = 100.0) ?(max_nodes = 256) 
     init_time = 0.0;
     probes = swap_probes ~fns_with_args ~times;
     classify = swap_cls;
+    payee_of = Some swap_payee;
     max_nodes;
   }
 
@@ -94,6 +103,7 @@ let centralized ?(deposit = Amount.of_int 1000) ?(max_nodes = 256) () =
     init_time = 0.0;
     probes = swap_probes ~fns_with_args ~times;
     classify = swap_cls;
+    payee_of = Some swap_payee;
     max_nodes;
   }
 
@@ -153,5 +163,7 @@ let witness ?(max_nodes = 64) () =
           ~time:10.0;
       ];
     classify = scw_cls;
+    (* SCw holds no asset: any payout at all is misrouted. *)
+    payee_of = Some (fun _ _ -> None);
     max_nodes;
   }

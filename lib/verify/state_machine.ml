@@ -31,6 +31,7 @@ type spec = {
   init_time : float;
   probes : probe list;
   classify : Value.t -> cls;
+  payee_of : (Value.t -> cls -> string option) option;
   max_nodes : int;
 }
 
@@ -39,6 +40,7 @@ type node = {
   state : Value.t;
   cls : cls;
   paid : Amount.t;
+  stray : Amount.t;
   succs : (string * int) list;
 }
 
@@ -79,14 +81,18 @@ let explore spec =
   | Ok state0 ->
       let table = Hashtbl.create 64 in
       let index = Hashtbl.create 64 in
-      (* Node identity: canonical state bytes plus the payout total. *)
-      let key state paid = Sha256.digest_list [ Value.to_bytes state; Amount.to_string paid ] in
+      (* Node identity: canonical state bytes plus the payout totals
+         (straight and misrouted) on the path reaching it. *)
+      let key state paid stray =
+        Sha256.digest_list
+          [ Value.to_bytes state; Amount.to_string paid; Amount.to_string stray ]
+      in
       let count = ref 0 in
       let n_transitions = ref 0 in
       let was_truncated = ref false in
       let pending = Queue.create () in
-      let intern state paid =
-        let k = key state paid in
+      let intern state paid stray =
+        let k = key state paid stray in
         match Hashtbl.find_opt index k with
         | Some id -> id
         | None ->
@@ -94,48 +100,72 @@ let explore spec =
             incr count;
             Hashtbl.replace index k id;
             Hashtbl.replace table id
-              { id; state; cls = spec.classify state; paid; succs = [] };
+              { id; state; cls = spec.classify state; paid; stray; succs = [] };
             Queue.push id pending;
             id
       in
-      ignore (intern state0 Amount.zero);
+      ignore (intern state0 Amount.zero Amount.zero);
       while not (Queue.is_empty pending) do
         let id = Queue.pop pending in
         let n = Hashtbl.find table id in
-        let succs =
-          List.filter_map
-            (fun probe ->
-              if !count >= spec.max_nodes then begin
-                was_truncated := true;
-                None
-              end
-              else
-                let ctx : Contract_iface.ctx =
-                  {
-                    chain_id = spec.chain_id;
-                    block_height = 2;
-                    block_time = probe.time;
-                    txid = Sha256.digest_list [ "ac3-verify-call"; string_of_int id; probe.label ];
-                    sender = probe.caller;
-                    value = Amount.zero;
-                    contract_id;
-                    balance = Amount.(spec.deposit - n.paid);
-                  }
-                in
-                match C.call ctx ~state:n.state ~fn:probe.fn ~args:probe.args with
-                | Error _ -> None
-                | Ok outcome ->
-                    let released =
-                      Amount.sum (List.map snd outcome.Contract_iface.payouts)
-                    in
-                    let target =
-                      intern outcome.Contract_iface.state Amount.(n.paid + released)
-                    in
-                    incr n_transitions;
-                    Some (probe.label, target))
-            spec.probes
-        in
-        Hashtbl.replace table id { n with succs }
+        (* A node that already over-released has no well-defined
+           remaining balance (the subtraction below would raise): stop
+           probing here and let S004 report it instead of crashing the
+           verifier on the contract's bug. *)
+        if Amount.compare n.paid spec.deposit > 0 then Hashtbl.replace table id { n with succs = [] }
+        else
+          let succs =
+            List.filter_map
+              (fun probe ->
+                if !count >= spec.max_nodes then begin
+                  was_truncated := true;
+                  None
+                end
+                else
+                  let ctx : Contract_iface.ctx =
+                    {
+                      chain_id = spec.chain_id;
+                      block_height = 2;
+                      block_time = probe.time;
+                      txid = Sha256.digest_list [ "ac3-verify-call"; string_of_int id; probe.label ];
+                      sender = probe.caller;
+                      value = Amount.zero;
+                      contract_id;
+                      balance = Amount.(spec.deposit - n.paid);
+                    }
+                  in
+                  match C.call ctx ~state:n.state ~fn:probe.fn ~args:probe.args with
+                  | Error _ -> None
+                  | Ok outcome ->
+                      let released =
+                        Amount.sum (List.map snd outcome.Contract_iface.payouts)
+                      in
+                      let misrouted =
+                        (* Payouts to anyone but the settlement payee of
+                           the post-transition state. *)
+                        match spec.payee_of with
+                        | None -> Amount.zero
+                        | Some payee ->
+                            let state' = outcome.Contract_iface.state in
+                            let expected = payee state' (spec.classify state') in
+                            Amount.sum
+                              (List.filter_map
+                                 (fun (addr, amt) ->
+                                   match expected with
+                                   | Some a when String.equal a addr -> None
+                                   | Some _ | None -> Some amt)
+                                 outcome.Contract_iface.payouts)
+                      in
+                      let target =
+                        intern outcome.Contract_iface.state
+                          Amount.(n.paid + released)
+                          Amount.(n.stray + misrouted)
+                      in
+                      incr n_transitions;
+                      Some (probe.label, target))
+              spec.probes
+          in
+          Hashtbl.replace table id { n with succs }
       done;
       Ok
         {
@@ -265,6 +295,18 @@ let check ?name a =
         else None)
       ns
   in
+  let misrouted =
+    List.filter_map
+      (fun n ->
+        if Amount.compare n.stray Amount.zero > 0 then
+          Some
+            (Diagnostic.error ~rule:"S007-misrouted-payout" ~location:(node_loc n)
+               "%a of the payouts on the path here went to an address other than the \
+                settlement payee: funds are misrouted even though the totals balance"
+               Amount.pp n.stray)
+        else None)
+      ns
+  in
   let trunc =
     if a.was_truncated then
       [
@@ -273,7 +315,7 @@ let check ?name a =
       ]
     else []
   in
-  (summary :: stuck) @ absorbing @ confusion @ conservation @ trunc
+  (summary :: stuck) @ absorbing @ confusion @ conservation @ misrouted @ trunc
 
 let verify ?name spec =
   match explore spec with

@@ -20,7 +20,14 @@
     - [S004-conservation]         (error) cumulative payouts exceed the
       locked balance, or a terminal state has not paid it out exactly.
     - [S005-truncated]            (warning) the node bound was hit; the
-      verdict only covers the explored prefix. *)
+      verdict only covers the explored prefix.
+    - [S007-misrouted-payout]     (error) a payout went to an address
+      other than the settlement payee declared by [payee_of] — totals
+      can balance while the money still goes to the wrong party.
+
+    The explorer never trusts the contract's own accounting: a state
+    that has already released more than the deposit is reported by
+    S004 but not probed further (its remaining balance is undefined). *)
 
 module Keys = Ac3_crypto.Keys
 open Ac3_chain
@@ -45,6 +52,11 @@ type spec = {
   init_time : float;
   probes : probe list;
   classify : Value.t -> cls;
+  payee_of : (Value.t -> cls -> string option) option;
+      (** settlement payee address of a (post-transition) state:
+          [Some addr] means every payout must go to [addr], [None]
+          means no payout is legitimate there. Omit ([None] at the spec
+          level) to disable payee checking. *)
   max_nodes : int;
 }
 
@@ -53,6 +65,7 @@ type node = {
   state : Value.t;
   cls : cls;
   paid : Amount.t;  (** cumulative payouts on the path reaching this node *)
+  stray : Amount.t;  (** cumulative misrouted payouts (see [payee_of]) *)
   succs : (string * int) list;  (** (probe label, target node id), discovery order *)
 }
 

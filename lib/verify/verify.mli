@@ -22,9 +22,20 @@ val timelocks :
     locations with the owning contract id. *)
 val contract : ?name:string -> State_machine.spec -> Diagnostic.t list
 
-(** Graph lints under the single-leader profile plus the timelock-order
-    pass: everything that must hold before [Herlihy.execute] (or
-    [Nolan.execute]) may touch a chain. *)
+(** Pass 4 alone (see {!Flow_lint}): the economic-safety rules rendered
+    from the {!Ac3_flow.Flow} abstract interpretation. *)
+val flow :
+  ?fault_budget:int ->
+  ?econ:Ac3_contract.Econ.t ->
+  ?static_races:bool ->
+  profile:Ac3_flow.Flow.profile ->
+  Ac2t.t ->
+  Diagnostic.t list
+
+(** Graph lints under the single-leader profile, the timelock-order
+    pass, and the budget-0 flow pass (widened when the timelock pass
+    errors): everything that must hold before [Herlihy.execute] (or
+    [Nolan.execute]) may touch a chain. Deduplicated. *)
 val herlihy_preflight :
   graph:Ac2t.t ->
   delta:float ->
@@ -32,8 +43,9 @@ val herlihy_preflight :
   start_time:float ->
   Diagnostic.t list
 
-(** Graph lints under the witness profile: AC3WN has no timelocks, so
-    well-formedness is the whole static obligation. *)
+(** Graph lints under the witness profile plus the budget-0 flow pass:
+    AC3WN has no timelocks, so well-formedness and economics are the
+    whole static obligation. Deduplicated. *)
 val ac3wn_preflight : graph:Ac2t.t -> Diagnostic.t list
 
 (** Multi-line rendering for error messages and CLI output. *)

@@ -180,6 +180,8 @@ let test_smoke_sweep () =
   let summary = Runner.sweep ~seed:1 ~runs:50 () in
   Alcotest.(check int) "no unexplained violations (harness self-check)" 0
     summary.Runner.unexplained_failures;
+  Alcotest.(check int) "every settlement inside its static flow interval" 0
+    summary.Runner.interval_violations;
   let counts p = List.assoc p summary.Runner.per_protocol in
   let herlihy = counts Runner.P_herlihy and ac3wn = counts Runner.P_ac3wn in
   (* every plan produced a verdict, a rejection, or a skip *)
