@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- par     # only E13 (domain-pool scaling, 200 runs)
      dune exec bench/main.exe -- obs     # only E14 (observability overhead, 100 runs)
      dune exec bench/main.exe -- load    # only E15 (load engine, 1000 swaps)
+     dune exec bench/main.exe -- fast    # only E17 (hot-path speedups, 100 runs)
 
    Experiment ids (E1..E15, A1, A2) are indexed in DESIGN.md and results
    are recorded in EXPERIMENTS.md. *)
@@ -713,6 +714,263 @@ let flow_bench () =
   close_out oc;
   Fmt.pr "  results written to BENCH_flow.json@."
 
+(* --- E17: hot-path speedups over the reference implementations ------------ *)
+
+module Memo = Ac3_fast.Memo
+module Sha256 = Ac3_crypto.Sha256
+module Engine = Ac3_sim.Engine
+module Sim_heap = Ac3_sim.Heap
+
+(* The boxed-heap dispatch loop the index-sorted arena replaced, reduced
+   to its essentials (one record per event, records ordered in the
+   heap). test/reference.ml keeps the full engine compiled for the
+   differential harness; this copy exists so the benchmark can put a
+   number on the same comparison. *)
+module Boxed_dispatch = struct
+  type ev = { time : float; seq : int; cb : unit -> unit; mutable cancelled : bool }
+
+  let cmp a b =
+    let c = Float.compare a.time b.time in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+  let run n acc =
+    let h = Sim_heap.create cmp in
+    for i = 0 to n - 1 do
+      Sim_heap.push h
+        { time = float_of_int (i land 255); seq = i; cb = (fun () -> incr acc); cancelled = false }
+    done;
+    let rec drain () =
+      match Sim_heap.pop h with
+      | None -> ()
+      | Some e ->
+          if not e.cancelled then e.cb ();
+          drain ()
+    in
+    drain ()
+end
+
+let arena_dispatch_run n acc =
+  let e = Engine.create () in
+  for i = 0 to n - 1 do
+    ignore (Engine.schedule_at e ~time:(float_of_int (i land 255)) (fun () -> incr acc))
+  done;
+  ignore (Engine.run e)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* Mine [n] blocks on top of [parent] (no txs) and return them
+   oldest-first together with the new tip. *)
+let mine_branch ~params ~miner ~parent ~start_height n =
+  let target = Pow.target_of_bits params.Params.pow_bits in
+  let rec go parent height acc k =
+    if k = 0 then (List.rev acc, parent)
+    else begin
+      let cb =
+        Tx.coinbase ~chain:params.Params.chain_id ~height ~miner_addr:(Keys.address miner)
+          ~reward:params.Params.block_reward
+      in
+      let b =
+        Block.mine ~chain:params.Params.chain_id ~height ~parent:(Block.hash parent)
+          ~time:(float_of_int height) ~target ~txs:[ cb ]
+      in
+      go b (height + 1) (b :: acc) (k - 1)
+    end
+  in
+  go parent start_height [] n
+
+(* Incremental reorg vs rescan: a store with a [prefix]-block shared
+   chain flip-flops between two competing branches. The undo-log path
+   disconnects and reconnects only the divergent suffix; the reference
+   a rescanning implementation would run rebuilds the winning chain from
+   genesis on every switch. Both must land on the same state digest. *)
+let reorg_kernel ~prefix ~flips () =
+  let miner = Keys.create "bench-fast-miner" in
+  (* Each branch mines to its own address: competing blocks at the same
+     height must differ, or the second branch's blocks are duplicates of
+     the first's. *)
+  let branch_miners = [| Keys.create "bench-fast-miner-a"; Keys.create "bench-fast-miner-b" |] in
+  let params =
+    Params.make "bench-fast" ~pow_bits:0 ~verify_signatures:false
+      ~premine:[ (Keys.address miner, Amount.of_int 1_000_000) ]
+  in
+  let registry = Contract_iface.create_registry () in
+  let store = Store.create ~params ~registry in
+  let trunk, fork_point =
+    mine_branch ~params ~miner ~parent:(Store.genesis store) ~start_height:1 prefix
+  in
+  List.iter
+    (fun b ->
+      match Store.add_block store b with
+      | Store.Added _ -> ()
+      | _ -> failwith "bench-fast: trunk block rejected")
+    trunk;
+  (* Two branch tips off the same fork point; alternately extend the
+     losing one past the winner, forcing a reorg each time. *)
+  let all_blocks = ref [] in
+  let tips = [| fork_point; fork_point |] in
+  let heights = [| prefix + 1; prefix + 1 |] in
+  let reorgs = ref 0 in
+  let feed b =
+    match Store.add_block store b with
+    | Store.Added { disconnected; _ } -> if disconnected <> [] then incr reorgs
+    | Store.Duplicate | Store.Orphaned -> failwith "bench-fast: branch block not added"
+    | Store.Invalid e -> failwith ("bench-fast: invalid branch block: " ^ e)
+  in
+  let inc_s, () =
+    wall (fun () ->
+        for flip = 0 to flips - 1 do
+          let side = flip mod 2 in
+          (* Overtake the other branch by one block. *)
+          let need = heights.(1 - side) - heights.(side) + 1 in
+          let need = max need 1 in
+          let blocks, tip =
+            mine_branch ~params ~miner:branch_miners.(side) ~parent:tips.(side)
+              ~start_height:heights.(side) need
+          in
+          tips.(side) <- tip;
+          heights.(side) <- heights.(side) + need;
+          all_blocks := List.rev_append blocks !all_blocks;
+          List.iter feed blocks
+        done)
+  in
+  let final_digest = Ledger.state_digest (Store.ledger store) in
+  (* Reference: rebuild the final active chain from genesis once — the
+     work a rescan pays per switch. *)
+  let rebuild_s, scratch_digest =
+    wall (fun () ->
+        let fresh = Store.create ~params ~registry in
+        List.iter
+          (fun b -> ignore (Store.add_block fresh b : Store.add_result))
+          (trunk @ List.rev !all_blocks);
+        Ledger.state_digest (Store.ledger fresh))
+  in
+  if not (String.equal final_digest scratch_digest) then
+    failwith "bench-fast: reorged store diverged from from-scratch rebuild";
+  let inc_per_reorg = inc_s /. float_of_int (max 1 !reorgs) in
+  (inc_per_reorg, rebuild_s, !reorgs)
+
+let fast_bench ~runs () =
+  section "E17 / lib fast — hot-path speedups, gated >= 5x on the E14 baseline";
+  (* The committed E14 measurement of this sweep on the seed tree
+     (BENCH_obs.json: baseline_s at runs=100, before lib/fast). *)
+  let e14_baseline_s = 308.184 in
+  let baseline_s = e14_baseline_s *. (float_of_int runs /. 100.0) in
+  Fmt.pr "SHA extensions available: %b@." (Sha256.shani_available ());
+  Fmt.pr "%d-run chaos sweep (jobs=1, instrument off) vs the committed@." runs;
+  Fmt.pr "seed-tree baseline of %.1f s; gate: >= 5x.@.@." baseline_s;
+  let sweep_s, summary = wall (fun () -> Runner.sweep ~jobs:1 ~seed:1 ~runs ()) in
+  let speedup = baseline_s /. sweep_s in
+  let gate = speedup >= 5.0 in
+  Fmt.pr "  sweep %7.2f s  =>  %.2fx vs baseline  [%s]@." sweep_s speedup
+    (if gate then "PASS" else "FAIL");
+  (* Sharded scheduling must not change a byte of the summary. *)
+  let shard_s, shard_summary =
+    wall (fun () -> Runner.sweep ~jobs:1 ~shard_chains:true ~seed:1 ~runs ())
+  in
+  let shard_identical =
+    String.equal (Fmt.str "%a" Runner.pp_summary summary) (Fmt.str "%a" Runner.pp_summary shard_summary)
+  in
+  Fmt.pr "  sweep --shard-chains %7.2f s  identical=%b@.@." shard_s shard_identical;
+  (* Kernel 1: repeat MSS verification — memo hit vs full recompute. *)
+  let signer = Keys.create "bench-fast-verify" in
+  let pk = Keys.public signer in
+  let msgs = Array.init 8 (Printf.sprintf "bench-fast-msg-%d") in
+  let sigs = Array.map (Keys.sign signer) msgs in
+  let verify_all () =
+    for _ = 1 to 50 do
+      Array.iteri (fun i m -> assert (Keys.verify pk m sigs.(i))) msgs
+    done
+  in
+  Memo.set_enabled false;
+  Memo.clear_all ();
+  Gc.compact ();
+  let verify_off_s, () = wall verify_all in
+  Memo.set_enabled true;
+  Memo.clear_all ();
+  Gc.compact ();
+  let verify_on_s, () = wall verify_all in
+  let verify_x = verify_off_s /. verify_on_s in
+  Fmt.pr "  repeat MSS verify:   %7.1f ms -> %7.1f ms  (%.0fx)@." (1000. *. verify_off_s)
+    (1000. *. verify_on_s) verify_x;
+  (* Kernel 2: repeat digests of an unchanged 100-tx block — txid,
+     merkle root and block hash served from the content-addressed memo. *)
+  let d_signer = Keys.create "bench-fast-digest" in
+  let block_txs =
+    List.init 100 (fun i ->
+        Tx.make_unsigned ~chain:"bench-fast"
+          ~inputs:[ (Outpoint.create ~txid:(Sha256.digest "bench-fast-prev") ~index:i, Keys.public d_signer) ]
+          ~outputs:[ { Tx.addr = Keys.address d_signer; amount = Amount.of_int 1 } ]
+          ~fee:Amount.zero ~nonce:(Int64.of_int i) ())
+  in
+  let digest_all () =
+    for _ = 1 to 200 do
+      List.iter (fun tx -> ignore (Tx.txid tx : string)) block_txs;
+      ignore (Ac3_crypto.Merkle.root (List.map Tx.txid block_txs) : string)
+    done
+  in
+  Memo.set_enabled false;
+  Memo.clear_all ();
+  Gc.compact ();
+  let digest_off_s, () = wall digest_all in
+  Memo.set_enabled true;
+  Memo.clear_all ();
+  Gc.compact ();
+  let digest_on_s, () = wall digest_all in
+  let digest_x = digest_off_s /. digest_on_s in
+  Fmt.pr "  repeat block digest: %7.1f ms -> %7.1f ms  (%.1fx)@." (1000. *. digest_off_s)
+    (1000. *. digest_on_s) digest_x;
+  (* Kernel 3: reorg via undo-log vs from-scratch rebuild. *)
+  let inc_per_reorg, rebuild_s, reorgs = reorg_kernel ~prefix:300 ~flips:10 () in
+  let reorg_x = rebuild_s /. inc_per_reorg in
+  Fmt.pr "  reorg (%d flips):    %7.2f ms/reorg incremental vs %7.1f ms rescan  (%.0fx)@." reorgs
+    (1000. *. inc_per_reorg) (1000. *. rebuild_s) reorg_x;
+  (* Kernel 4: event dispatch, index-sorted arena vs boxed heap. *)
+  let acc = ref 0 in
+  let boxed_s, () = wall (fun () -> for _ = 1 to 20 do Boxed_dispatch.run 20_000 acc done) in
+  let arena_s, () = wall (fun () -> for _ = 1 to 20 do arena_dispatch_run 20_000 acc done) in
+  let dispatch_x = boxed_s /. arena_s in
+  Fmt.pr "  event dispatch:      %7.1f ms -> %7.1f ms  (%.2fx)@." (1000. *. boxed_s)
+    (1000. *. arena_s) dispatch_x;
+  let kernel ns xs =
+    Json.Obj [ ("reference_s", Json.Float ns); ("optimized_s", Json.Float xs); ("speedup", Json.Float (ns /. xs)) ]
+  in
+  let oc = open_out_bin "BENCH_fast.json" in
+  output_string oc
+    (Json.to_string_pretty
+       (Json.Obj
+          [
+            ("shani", Json.Bool (Sha256.shani_available ()));
+            ("runs", Json.Int runs);
+            ("e14_baseline_s", Json.Float baseline_s);
+            ("sweep_s", Json.Float sweep_s);
+            ("speedup", Json.Float speedup);
+            ("gate_5x", Json.Bool gate);
+            ("shard_sweep_s", Json.Float shard_s);
+            ("shard_identical", Json.Bool shard_identical);
+            ( "kernels",
+              Json.Obj
+                [
+                  ("verify_memo", kernel verify_off_s verify_on_s);
+                  ("digest_memo", kernel digest_off_s digest_on_s);
+                  ( "reorg_incremental",
+                    Json.Obj
+                      [
+                        ("incremental_s_per_reorg", Json.Float inc_per_reorg);
+                        ("rescan_s_per_reorg", Json.Float rebuild_s);
+                        ("reorgs", Json.Int reorgs);
+                        ("speedup", Json.Float reorg_x);
+                      ] );
+                  ("dispatch_arena", kernel boxed_s arena_s);
+                ] );
+          ]));
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "  results written to BENCH_fast.json@.";
+  if not gate then exit 1
+
 let run_bechamel () =
   section "Bechamel micro-benchmarks (one kernel per table/figure)";
   let open Bechamel in
@@ -737,6 +995,7 @@ let () =
   let obs_only = Array.exists (fun a -> a = "obs") Sys.argv in
   let load_only = Array.exists (fun a -> a = "load") Sys.argv in
   let flow_only = Array.exists (fun a -> a = "flow") Sys.argv in
+  let fast_only = Array.exists (fun a -> a = "fast") Sys.argv in
   Fmt.pr "AC3WN reproduction benchmark harness (seeded, deterministic).@.";
   Fmt.pr "Δ = %.0f virtual seconds (confirm depth %d x %.0f s blocks) in protocol runs.@."
     E.delta E.confirm_depth E.block_interval;
@@ -760,6 +1019,11 @@ let () =
     Fmt.pr "@.Done.@.";
     exit 0
   end;
+  if fast_only then begin
+    fast_bench ~runs:100 ();
+    Fmt.pr "@.Done.@.";
+    exit 0
+  end;
   fig8_fig9 ();
   fig10 ();
   cost ();
@@ -777,5 +1041,6 @@ let () =
   if not quick then obs_overhead ~runs:50 ();
   if not quick then load_bench ();
   if not quick then flow_bench ();
+  if not quick then fast_bench ~runs:100 ();
   run_bechamel ();
   Fmt.pr "@.Done.@."

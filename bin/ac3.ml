@@ -586,7 +586,8 @@ let chaos_shrink ~seed ~protocol ~load ~jobs ~out ~metrics_out ~trace_out =
       | None -> ());
       0
 
-let run_chaos seed runs protocol load replay shrink out jobs sanitize verbose metrics_out trace_out =
+let run_chaos seed runs protocol load replay shrink out jobs sanitize verbose metrics_out trace_out
+    shard_chains =
   match replay with
   | Some path -> chaos_replay ~jobs ~metrics_out ~trace_out path
   | None ->
@@ -594,7 +595,7 @@ let run_chaos seed runs protocol load replay shrink out jobs sanitize verbose me
       else begin
         let protocols = match protocol with Some p -> [ p ] | None -> Runner.all_protocols in
         let on_report = if verbose then Some report_line else None in
-        match Runner.sweep ~protocols ?on_report ~jobs ~sanitize ~load ~seed ~runs () with
+        match Runner.sweep ~protocols ?on_report ~jobs ~sanitize ~load ~shard_chains ~seed ~runs () with
         | summary ->
             export_obs ?metrics_out ?trace_out summary.Runner.obs;
             Fmt.pr "%a@." Runner.pp_summary summary;
@@ -640,12 +641,21 @@ let chaos_cmd =
             "Concurrent background swaps sharing each run's universe (1 = none): faults then hit \
              contended mempools and blocks, not an idle system.")
   in
+  let shard_chains =
+    Arg.(
+      value & flag
+      & info [ "shard-chains" ]
+          ~doc:
+            "Experimental: pre-generate every run's per-chain signing-key material on the \
+             $(b,--jobs) worker domains before the sweep starts. Purely a scheduling change — \
+             all output (summary, metrics, traces) is byte-identical with the flag on or off.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Deterministic fault-injection sweeps: seeded plans, atomicity oracle, shrinking")
     Term.(
       const run_chaos $ seed $ runs $ protocol $ load $ replay $ shrink $ out $ jobs_arg
-      $ sanitize_arg $ verbose $ metrics_out_arg $ trace_out_arg)
+      $ sanitize_arg $ verbose $ metrics_out_arg $ trace_out_arg $ shard_chains)
 
 (* --- check -------------------------------------------------------------------- *)
 
@@ -1207,8 +1217,9 @@ let load_cmd =
 (* One fully instrumented swap, with the registry and span tree printed
    instead of the usual trace dump — the quickest way to see what the
    observability layer measures. *)
-let run_metrics protocol scenario parties seed metrics_out trace_out =
+let run_metrics protocol scenario parties seed metrics_out trace_out profile =
   setup_logs false;
+  if profile then Ac3_fast.Profile.enable ();
   let u, participants, graph = scenario_setup ~scenario ~parties ~seed in
   let delta = U.max_delta u in
   let atomic =
@@ -1243,6 +1254,19 @@ let run_metrics protocol scenario parties seed metrics_out trace_out =
   Fmt.pr "Metrics snapshot (%d instruments):@.%a@." (Metrics.size (U.metrics u)) Metrics.pp
     (U.metrics u);
   Fmt.pr "@.Span tree:@.%a@." Span.pp (U.spans u);
+  (* Host-time phase profile, appended after the deterministic output so
+     the default (unprofiled) byte stream is untouched by the flag. *)
+  if profile then begin
+    Fmt.pr "@.Phase profile (host time):@.";
+    match Ac3_fast.Profile.report () with
+    | [] -> Fmt.pr "  (no instrumented phase ticked)@."
+    | rows ->
+        List.iter
+          (fun (name, calls, secs) ->
+            Fmt.pr "  %-18s %7d calls  %9.3f ms  %8.1f us/call@." name calls (1000.0 *. secs)
+              (1e6 *. secs /. float_of_int (max 1 calls)))
+          rows
+  end;
   export_obs ?metrics_out ?trace_out (U.obs u);
   if atomic then 0 else 3
 
@@ -1255,11 +1279,21 @@ let metrics_cmd =
   in
   let parties = Arg.(value & opt int 3 & info [ "parties"; "n" ] ~doc:"Ring size (ring scenario).") in
   let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Also print the host-time phase profile (crypto keygen/sign/verify, chain \
+             apply/check/mine, ...) accumulated during the run. The profile is appended after \
+             the deterministic output, which stays byte-identical to an unprofiled run.")
+  in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"Run one instrumented swap and print the metrics registry and span tree")
     Term.(
-      const run_metrics $ protocol $ scenario $ parties $ seed $ metrics_out_arg $ trace_out_arg)
+      const run_metrics $ protocol $ scenario $ parties $ seed $ metrics_out_arg $ trace_out_arg
+      $ profile)
 
 let () =
   let doc = "Atomic commitment across blockchains (AC3WN reproduction)" in

@@ -40,13 +40,29 @@ let decode_header r =
 
 let header_bytes h = Codec.encode encode_header h
 
-let hash_header h = Sha256.digest2 (header_bytes h)
+(* Header-hash memo keyed by the serialized header. Every depth poll,
+   evidence check and fork walk re-hashes the same headers; [mine]
+   below deliberately bypasses this table (grinding would churn it). *)
+let hash_memo : string Ac3_fast.Memo.t = Ac3_fast.Memo.create ~name:"block.hash" ~cap:4096
+
+let hash_header h =
+  let bytes = header_bytes h in
+  Ac3_fast.Memo.memo hash_memo bytes (fun () -> Sha256.digest2 bytes)
 
 let hash t = hash_header t.header
 
 let genesis_parent = String.make 32 '\x00'
 
-let merkle_root_of_txs txs = Merkle.root (List.map Tx.txid txs)
+(* Root memo keyed by the concatenated txids (fixed 32-byte records, so
+   the key is self-delimiting). Candidate assembly and body validation
+   recompute the same commitment; the per-node memos inside
+   [Merkle.root] additionally make a near-miss (one tx appended) reuse
+   the shared subtree hashes. *)
+let merkle_memo : string Ac3_fast.Memo.t = Ac3_fast.Memo.create ~name:"block.merkle" ~cap:1024
+
+let merkle_root_of_txs txs =
+  let ids = List.map Tx.txid txs in
+  Ac3_fast.Memo.memo merkle_memo (String.concat "" ids) (fun () -> Merkle.root ids)
 
 (* Inclusion proof for the [i]-th transaction; verified by light clients
    and by cross-chain evidence checks. *)
@@ -86,11 +102,24 @@ let genesis ?(premine = []) ~chain ~time ~target () =
   (* Genesis is exempt from PoW: it is a fixed constant of the chain. *)
   { header; txs }
 
-(* Assemble and mine a block on [parent_hash]. *)
+(* Assemble and mine a block on [parent_hash]. The grinding loop
+   serializes the header once and patches the nonce — the final 8 bytes
+   of the encoding — in place per attempt, hashing the buffer directly:
+   the same bytes [hash_header { base with nonce }] would hash, without
+   a record copy, an encode and a string per nonce. *)
+let mine_phase = Ac3_fast.Profile.phase "chain.mine"
+
 let mine ~chain ~height ~parent ~time ~target ~txs =
+  Ac3_fast.Profile.span mine_phase @@ fun () ->
   let merkle_root = merkle_root_of_txs txs in
   let base = { chain; height; parent; merkle_root; time; target; nonce = 0L } in
-  let nonce = Pow.mine ~target (fun nonce -> hash_header { base with nonce }) in
+  let buf = Bytes.of_string (header_bytes base) in
+  let len = Bytes.length buf in
+  let nonce =
+    Pow.mine ~target (fun nonce ->
+        Bytes.set_int64_be buf (len - 8) nonce;
+        Sha256.digest (Sha256.digest_bytes buf 0 len))
+  in
   { header = { base with nonce }; txs }
 
 let pp_id ppf t = Fmt.pf ppf "%s@%d" (Hex.short (hash t)) t.header.height

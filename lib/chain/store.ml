@@ -13,6 +13,11 @@ module Hex = Ac3_crypto.Hex
 type entry = {
   block : Block.t;
   hash : string;
+  (* Txids in block order, computed once on arrival. Reorgs connect and
+     disconnect the same entries repeatedly; the indexes below are
+     maintained from this array instead of re-serializing every
+     transaction on each switch. *)
+  txids : string array;
   cum_work : float;
   seq : int; (* arrival order, breaks work ties *)
   mutable invalid : bool;
@@ -82,14 +87,13 @@ let create ~params ~registry =
           on_reorg = None;
         }
       in
+      let gtxids = Array.of_list (List.map Tx.txid genesis.Block.txs) in
       Hashtbl.replace t.blocks ghash
-        { block = genesis; hash = ghash; cum_work = 0.0; seq = 0; invalid = false };
+        { block = genesis; hash = ghash; txids = gtxids; cum_work = 0.0; seq = 0; invalid = false };
       Hashtbl.replace t.active ghash 0;
       Hashtbl.replace t.by_height 0 ghash;
       Hashtbl.replace t.undo_data ghash undo;
-      List.iteri
-        (fun i tx -> Hashtbl.replace t.tx_index (Tx.txid tx) (ghash, i))
-        genesis.Block.txs;
+      Array.iteri (fun i txid -> Hashtbl.replace t.tx_index txid (ghash, i)) gtxids;
       t
   | Error e -> invalid_arg ("Store.create: genesis failed to apply: " ^ e))
 
@@ -151,17 +155,22 @@ let headers_from t ~from_ =
 (* Record a block's Call transactions in the call index. Prepending in
    tx order keeps each per-contract list newest-first with in-block
    order recovered by the final reverse in [calls_on]. *)
-let index_calls t (block : Block.t) ~height =
-  List.iter
-    (fun (tx : Tx.t) ->
+let index_calls t entry ~height =
+  List.iteri
+    (fun i (tx : Tx.t) ->
       match tx.Tx.payload with
       | Tx.Call c ->
           let prev = Option.value ~default:[] (Hashtbl.find_opt t.call_index c.contract_id) in
           Hashtbl.replace t.call_index c.contract_id
-            ({ call_txid = Tx.txid tx; call_fn = c.fn; call_args = c.args; call_height = height }
+            ({
+               call_txid = Array.unsafe_get entry.txids i;
+               call_fn = c.fn;
+               call_args = c.args;
+               call_height = height;
+             }
             :: prev)
       | Tx.Transfer | Tx.Deploy _ | Tx.Coinbase _ -> ())
-    block.Block.txs
+    entry.block.Block.txs
 
 (* Drop the index entries contributed by a block being disconnected.
    Only tips disconnect, so every indexed call at [height] belongs to
@@ -188,10 +197,8 @@ let connect_block t entry =
       Hashtbl.replace t.active entry.hash h;
       Hashtbl.replace t.by_height h entry.hash;
       Hashtbl.replace t.undo_data entry.hash undo;
-      List.iteri
-        (fun i tx -> Hashtbl.replace t.tx_index (Tx.txid tx) (entry.hash, i))
-        entry.block.Block.txs;
-      index_calls t entry.block ~height:h;
+      Array.iteri (fun i txid -> Hashtbl.replace t.tx_index txid (entry.hash, i)) entry.txids;
+      index_calls t entry ~height:h;
       t.tip <- entry.hash;
       Ok events
 
@@ -203,7 +210,7 @@ let disconnect_tip t =
   Hashtbl.remove t.active e.hash;
   Hashtbl.remove t.by_height h;
   Hashtbl.remove t.undo_data e.hash;
-  List.iter (fun tx -> Hashtbl.remove t.tx_index (Tx.txid tx)) e.block.Block.txs;
+  Array.iter (fun txid -> Hashtbl.remove t.tx_index txid) e.txids;
   unindex_calls t e.block ~height:h;
   t.tip <- e.block.Block.header.Block.parent;
   e.block
@@ -299,6 +306,7 @@ let rec add_block t (block : Block.t) : add_result =
               {
                 block;
                 hash;
+                txids = Array.of_list (List.map Tx.txid block.Block.txs);
                 cum_work = parent.cum_work +. Pow.work_of_target header.Block.target;
                 seq = t.next_seq;
                 invalid = false;

@@ -94,7 +94,15 @@ let encode_body w t =
   Amount.encode w t.fee;
   Codec.Writer.i64 w t.nonce
 
-let sighash t = Sha256.digest_list [ "tx-sighash"; Codec.encode encode_body t ]
+(* Sighash memo, keyed by the full serialized body — any change to the
+   signed fields changes the key, so a mutated transaction can never be
+   served a stale hash. Signing and per-input verification both hash
+   the same body; with several inputs the body is serialized once. *)
+let sighash_memo : string Ac3_fast.Memo.t = Ac3_fast.Memo.create ~name:"tx.sighash" ~cap:4096
+
+let sighash t =
+  let body = Codec.encode encode_body t in
+  Ac3_fast.Memo.memo sighash_memo body (fun () -> Sha256.digest_list [ "tx-sighash"; body ])
 
 let encode w t =
   encode_body w t;
@@ -116,7 +124,16 @@ let to_bytes t = Codec.encode encode t
 
 let of_bytes s = Codec.decode decode s
 
-let txid t = Sha256.digest2 (to_bytes t)
+(* Txid memo, keyed by the full serialization (witnesses included):
+   structural identity, so mutating any field — including a witness
+   array slot — misses and recomputes. The mempool, block assembly,
+   store indexing and Merkle commitments all re-derive txids of the
+   same transactions; this makes the repeats one table hit. *)
+let txid_memo : string Ac3_fast.Memo.t = Ac3_fast.Memo.create ~name:"tx.txid" ~cap:4096
+
+let txid t =
+  let bytes = to_bytes t in
+  Ac3_fast.Memo.memo txid_memo bytes (fun () -> Sha256.digest2 bytes)
 
 let pp_id ppf t = Fmt.string ppf (Hex.short (txid t))
 

@@ -7,8 +7,20 @@ type t = { key : string; mutable counter : int }
 
 let create ~seed ~label = { key = Hmac.mac ~key:seed label; counter = 0 }
 
+let hex_digits = "0123456789abcdef"
+
+(* The counter rendered exactly as [Printf.sprintf "%016x"] renders a
+   non-negative int, without the format-machinery cost — this string is
+   built once per HMAC call in the key-generation hot loop. *)
+let counter_hex i =
+  let b = Bytes.create 16 in
+  for j = 0 to 15 do
+    Bytes.unsafe_set b j (String.unsafe_get hex_digits ((i lsr (4 * (15 - j))) land 0xF))
+  done;
+  Bytes.unsafe_to_string b
+
 let block t =
-  let ctr = Printf.sprintf "%016x" t.counter in
+  let ctr = counter_hex t.counter in
   t.counter <- t.counter + 1;
   Hmac.mac ~key:t.key ctr
 
@@ -23,4 +35,15 @@ let bytes t n =
    [seed] under [label]. Lets signers regenerate any secret element without
    storing the whole key. *)
 let expand ~seed ~label i =
-  Hmac.mac ~key:(Hmac.mac ~key:seed label) (Printf.sprintf "%016x" i)
+  Hmac.mac ~key:(Hmac.mac ~key:seed label) (counter_hex i)
+
+(* Precomputed expansion key: [expand] redoes the outer key derivation
+   and both HMAC pad compressions on every call. A signer expanding
+   thousands of blocks under one (seed, label) captures the HMAC
+   midstates once and replays them per index. Output bytes are identical
+   to [expand]. *)
+type prk = Hmac.prk
+
+let prk ~seed ~label = Hmac.precompute ~key:(Hmac.mac ~key:seed label)
+
+let expand_prk p i = Hmac.mac_prk p (counter_hex i)

@@ -12,3 +12,12 @@ val bytes : t -> int -> string
 (** [expand ~seed ~label i] is the [i]-th 32-byte block of the stream
     derived from [seed] and [label], computed statelessly. *)
 val expand : seed:string -> label:string -> int -> string
+
+(** Precomputed expansion key for a fixed (seed, label):
+    [expand_prk (prk ~seed ~label) i = expand ~seed ~label i] bit for
+    bit, at half the compression cost per call. *)
+type prk
+
+val prk : seed:string -> label:string -> prk
+
+val expand_prk : prk -> int -> string

@@ -16,8 +16,14 @@ type t = { label : string; secret : Mss.secret; public : public }
 
 let address_len = 20
 
-(* Address = truncated hash of the public key, like Bitcoin's HASH160. *)
-let address_of_public pk = String.sub (Sha256.digest_list [ "addr"; pk ]) 0 address_len
+(* Address = truncated hash of the public key, like Bitcoin's HASH160.
+   Memoized by the public key itself: input resolution re-derives the
+   owner address of every spent input on every admission poll. *)
+let address_memo : string Ac3_fast.Memo.t = Ac3_fast.Memo.create ~name:"keys.address" ~cap:1024
+
+let address_of_public pk =
+  Ac3_fast.Memo.memo address_memo pk (fun () ->
+      String.sub (Sha256.digest_list [ "addr"; pk ]) 0 address_len)
 
 (* The memo table is shared process state: parallel sweeps (ac3_par
    domains) create identities concurrently, so every access holds the
@@ -76,6 +82,15 @@ let fresh ?(height = default_height) label =
   let secret = generate_secret ~height label in
   { label; secret; public = Mss.public secret }
 
+(* Build the key material for [label] into the process-wide material
+   cache ({!Mss}) without handing out an identity. The sharded chaos
+   runner fans these out over pool worker domains before building a
+   universe; the later [create]/[fresh] on the coordinating domain then
+   finds the material ready. Material is immutable and a pure function
+   of the label, so warming from any domain is semantically invisible. *)
+let warm ?(height = default_height) label =
+  if Ac3_fast.Memo.enabled () then ignore (generate_secret ~height label : Mss.secret)
+
 let label t = t.label
 
 let public t = t.public
@@ -86,7 +101,42 @@ let remaining_signatures t = Mss.remaining t.secret
 
 let sign t msg = Mss.sign t.secret msg
 
-let verify pk msg signature = Mss.verify pk msg signature
+(* Verification memo. Swap protocols re-verify the same evidence
+   signatures at every depth poll, so caching pays; the key is the
+   SHA-256 of the FULL (pk, signature, msg) serialization — structural
+   identity under the same collision resistance the rest of the system
+   already rests on — so a mutated signature or message can only miss,
+   never alias a stale verdict. The self-delimiting [Codec] frames keep
+   distinct triples from framing ambiguously before hashing. Hashing
+   down to 32 bytes keeps the table's keys (and each lookup's compare)
+   small: a serialized MSS triple is a couple of kilobytes, and
+   re-verification is frequent enough that the allocation shows up as
+   GC time. Verdicts are pure functions of the key. *)
+let verify_memo : bool Ac3_fast.Memo.t = Ac3_fast.Memo.create ~name:"keys.verify" ~cap:4096
+
+let verify_key pk msg signature =
+  let w = Codec.Writer.create () in
+  Codec.Writer.fixed w ~len:32 pk;
+  Mss.encode_signature w signature;
+  Codec.Writer.string w msg;
+  Sha256.digest (Codec.Writer.contents w)
+
+let verify pk msg signature =
+  if not (Ac3_fast.Memo.enabled ()) then Mss.verify pk msg signature
+  else
+    match verify_key pk msg signature with
+    | key -> Ac3_fast.Memo.memo verify_memo key (fun () -> Mss.verify pk msg signature)
+    | exception _ ->
+        (* Malformed pk or signature shapes can't be framed; verify
+           directly (the answer is [false] anyway). *)
+        Mss.verify pk msg signature
+
+(* Warm-up hook for the sharded miner: verdicts computed on pool worker
+   domains are inserted into the coordinating domain's table here. *)
+let memoize_verification pk msg signature verdict =
+  match verify_key pk msg signature with
+  | key -> Ac3_fast.Memo.add verify_memo key verdict
+  | exception _ -> ()
 
 let pp_public ppf pk = Fmt.string ppf (Hex.short pk)
 

@@ -8,13 +8,20 @@
 
 exception Key_exhausted
 
-type secret = {
-  seed : string;
-  height : int;
+(* The expensive, immutable part of a key: everything [generate]
+   computes. Split out so equal (seed, height) pairs can share one
+   build — only the [next] leaf counter below is per-key state. *)
+type material = {
   leaf_secrets : Wots.secret array;
   leaf_publics : string array;
   (* tree.(0) = leaf hashes, tree.(height) = [| root |] *)
   tree : string array array;
+}
+
+type secret = {
+  seed : string;
+  height : int;
+  material : material;
   mutable next : int;
 }
 
@@ -32,8 +39,13 @@ let leaf_hash pk = Sha256.digest_list [ "mss-leaf-hash"; pk ]
 
 let node_hash l r = Sha256.digest_list [ "mss-node"; l; r ]
 
-let generate ?(height = 5) ~seed () =
-  if height < 1 || height > 16 then invalid_arg "Mss.generate: height out of range";
+let keygen_phase = Ac3_fast.Profile.phase "crypto.keygen"
+
+let sign_phase = Ac3_fast.Profile.phase "crypto.sign"
+
+let verify_phase = Ac3_fast.Profile.phase "crypto.verify"
+
+let build_material ~height ~seed =
   let n = 1 lsl height in
   let leaf_secrets = Array.init n (fun i -> Wots.generate ~seed ~tag:(leaf_tag i)) in
   let leaf_publics = Array.map Wots.public leaf_secrets in
@@ -44,9 +56,46 @@ let generate ?(height = 5) ~seed () =
     tree.(level) <-
       Array.init (Array.length below / 2) (fun i -> node_hash below.(2 * i) below.((2 * i) + 1))
   done;
-  { seed; height; leaf_secrets; leaf_publics; tree; next = 0 }
+  { leaf_secrets; leaf_publics; tree }
 
-let public sk = sk.tree.(sk.height).(0)
+(* Material memo, shared across domains because identical (seed, height)
+   keys must be generated only once per process even when replay runs
+   re-create identities. Lookup and insert hold the mutex; the build
+   itself deliberately does NOT — material is immutable and a pure
+   function of the key, so two domains racing a cold entry waste one
+   duplicate build instead of serializing every key generation behind
+   one lock. Last insert wins; both copies are equal. *)
+let material_cache : (string * int, material) Hashtbl.t = Hashtbl.create 64
+
+(* ac3-lint: allow D004 — guards the cross-domain material memo; entries are seed-deterministic *)
+let material_mutex = Mutex.create ()
+
+let material_cap = 128
+
+let material ~height ~seed =
+  let key = (seed, height) in
+  let cached =
+    if not (Ac3_fast.Memo.enabled ()) then None
+    else
+      (* ac3-lint: allow D004 — see the cache note above *)
+      Mutex.protect material_mutex (fun () -> Hashtbl.find_opt material_cache key)
+  in
+  match cached with
+  | Some m -> m
+  | None ->
+      let m = Ac3_fast.Profile.span keygen_phase (fun () -> build_material ~height ~seed) in
+      if Ac3_fast.Memo.enabled () then
+        (* ac3-lint: allow D004 — see the cache note above *)
+        Mutex.protect material_mutex (fun () ->
+            if Hashtbl.length material_cache >= material_cap then Hashtbl.reset material_cache;
+            Hashtbl.replace material_cache key m);
+      m
+
+let generate ?(height = 5) ~seed () =
+  if height < 1 || height > 16 then invalid_arg "Mss.generate: height out of range";
+  { seed; height; material = material ~height ~seed; next = 0 }
+
+let public sk = sk.material.tree.(sk.height).(0)
 
 let capacity sk = 1 lsl sk.height
 
@@ -55,19 +104,20 @@ let remaining sk = capacity sk - sk.next
 let auth_path sk index =
   Array.init sk.height (fun level ->
       let i = index lsr level in
-      sk.tree.(level).(i lxor 1))
+      sk.material.tree.(level).(i lxor 1))
 
 let sign sk msg =
   if sk.next >= capacity sk then raise Key_exhausted;
   let index = sk.next in
   sk.next <- index + 1;
-  {
-    leaf_index = index;
-    wots_sig = Wots.sign sk.leaf_secrets.(index) msg;
-    auth_path = auth_path sk index;
-  }
+  Ac3_fast.Profile.span sign_phase (fun () ->
+      {
+        leaf_index = index;
+        wots_sig = Wots.sign sk.material.leaf_secrets.(index) msg;
+        auth_path = auth_path sk index;
+      })
 
-let verify pk msg { leaf_index; wots_sig; auth_path } =
+let verify_raw pk msg { leaf_index; wots_sig; auth_path } =
   leaf_index >= 0
   && Array.for_all (fun h -> String.length h = 32) auth_path
   &&
@@ -81,6 +131,8 @@ let verify pk msg { leaf_index; wots_sig; auth_path } =
           h := if bit = 0 then node_hash !h sibling else node_hash sibling !h)
         auth_path;
       String.equal !h pk
+
+let verify pk msg s = Ac3_fast.Profile.span verify_phase (fun () -> verify_raw pk msg s)
 
 let signature_size { wots_sig; auth_path; _ } =
   8 + Wots.signature_size wots_sig + (32 * Array.length auth_path)

@@ -1,100 +1,60 @@
-(* SHA-256 (FIPS 180-4), pure OCaml.
+(* SHA-256 (FIPS 180-4).
 
-   Words are kept in native ints masked to 32 bits; on a 64-bit platform
-   this is both correct and fast. The implementation is verified against
-   the NIST test vectors in the test suite. *)
+   The streaming layer — block buffering, padding, the length suffix —
+   lives here; the compression function itself is a C stub
+   (sha256_stubs.c) that uses the x86 SHA extensions when the CPU has
+   them and a portable scalar loop otherwise. Both paths compute the
+   identical FIPS 180-4 function, verified against the NIST test
+   vectors in the test suite, so digest values are bit-for-bit the same
+   on every machine.
 
-let mask = 0xFFFFFFFF
-
-let k =
-  [|
-    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
-    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
-    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
-    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
-    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
-    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
-    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
-    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
-    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
-    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
-    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
-  |]
+   This is the single hottest function in the repository — every WOTS
+   chain step, Merkle node, transaction id and HMAC block lands here.
+   One-shot digests run on a domain-local scratch context instead of
+   allocating a context and block buffer per call; hash-based
+   signatures issue hundreds of thousands of one-shot digests per key
+   generation, so the allocation savings dominate GC time. Whole-block
+   input spans are handed to the stub as one multi-block call, so long
+   messages pay the OCaml->C boundary once. *)
 
 type ctx = {
-  mutable h0 : int;
-  mutable h1 : int;
-  mutable h2 : int;
-  mutable h3 : int;
-  mutable h4 : int;
-  mutable h5 : int;
-  mutable h6 : int;
-  mutable h7 : int;
+  h : int array; (* working variables H0..H7, 32-bit values in native ints *)
   buf : Bytes.t; (* 64-byte block buffer *)
   mutable buf_len : int;
   mutable total : int; (* total bytes fed, for the length suffix *)
-  w : int array; (* message schedule, reused across blocks *)
 }
 
-let init () =
-  {
-    h0 = 0x6a09e667;
-    h1 = 0xbb67ae85;
-    h2 = 0x3c6ef372;
-    h3 = 0xa54ff53a;
-    h4 = 0x510e527f;
-    h5 = 0x9b05688c;
-    h6 = 0x1f83d9ab;
-    h7 = 0x5be0cd19;
-    buf = Bytes.create 64;
-    buf_len = 0;
-    total = 0;
-    w = Array.make 64 0;
-  }
+(* [compress_blocks h buf off n] runs the compression function over [n]
+   consecutive 64-byte blocks of [buf] starting at [off], updating [h]
+   in place. The stub allocates nothing and cannot raise. *)
+external compress_blocks : int array -> Bytes.t -> int -> int -> unit
+  = "ac3_sha256_compress_stub"
+  [@@noalloc]
 
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+external shani_available : unit -> bool = "ac3_sha256_shani_available_stub"
 
-let compress ctx block off =
-  let w = ctx.w in
-  for i = 0 to 15 do
-    let j = off + (4 * i) in
-    w.(i) <-
-      (Char.code (Bytes.get block j) lsl 24)
-      lor (Char.code (Bytes.get block (j + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (j + 2)) lsl 8)
-      lor Char.code (Bytes.get block (j + 3))
-  done;
-  for i = 16 to 63 do
-    let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
-    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10) in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
-  done;
-  let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 and d = ref ctx.h3 in
-  let e = ref ctx.h4 and f = ref ctx.h5 and g = ref ctx.h6 and h = ref ctx.h7 in
-  for i = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = (!e land !f) lxor (lnot !e land !g) in
-    let temp1 = (!h + s1 + ch + k.(i) + w.(i)) land mask in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
-    let temp2 = (s0 + maj) land mask in
-    h := !g;
-    g := !f;
-    f := !e;
-    e := (!d + temp1) land mask;
-    d := !c;
-    c := !b;
-    b := !a;
-    a := (temp1 + temp2) land mask
-  done;
-  ctx.h0 <- (ctx.h0 + !a) land mask;
-  ctx.h1 <- (ctx.h1 + !b) land mask;
-  ctx.h2 <- (ctx.h2 + !c) land mask;
-  ctx.h3 <- (ctx.h3 + !d) land mask;
-  ctx.h4 <- (ctx.h4 + !e) land mask;
-  ctx.h5 <- (ctx.h5 + !f) land mask;
-  ctx.h6 <- (ctx.h6 + !g) land mask;
-  ctx.h7 <- (ctx.h7 + !h) land mask
+let iv = [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |]
+
+let init () = { h = Array.copy iv; buf = Bytes.create 64; buf_len = 0; total = 0 }
+
+let reset ctx =
+  Array.blit iv 0 ctx.h 0 8;
+  ctx.buf_len <- 0;
+  ctx.total <- 0
+
+let copy ctx =
+  let c = init () in
+  Array.blit ctx.h 0 c.h 0 8;
+  Bytes.blit ctx.buf 0 c.buf 0 64;
+  c.buf_len <- ctx.buf_len;
+  c.total <- ctx.total;
+  c
+
+let restore ~src ~dst =
+  Array.blit src.h 0 dst.h 0 8;
+  Bytes.blit src.buf 0 dst.buf 0 64;
+  dst.buf_len <- src.buf_len;
+  dst.total <- src.total
 
 let feed_bytes ctx (data : Bytes.t) off len =
   ctx.total <- ctx.total + len;
@@ -107,16 +67,17 @@ let feed_bytes ctx (data : Bytes.t) off len =
     pos := !pos + take;
     remaining := !remaining - take;
     if ctx.buf_len = 64 then begin
-      compress ctx ctx.buf 0;
+      compress_blocks ctx.h ctx.buf 0 1;
       ctx.buf_len <- 0
     end
   end;
-  (* Whole blocks straight from the input. *)
-  while !remaining >= 64 do
-    compress ctx data !pos;
-    pos := !pos + 64;
-    remaining := !remaining - 64
-  done;
+  (* Whole blocks straight from the input, one stub call for the span. *)
+  let nblocks = !remaining / 64 in
+  if nblocks > 0 then begin
+    compress_blocks ctx.h data !pos nblocks;
+    pos := !pos + (nblocks * 64);
+    remaining := !remaining - (nblocks * 64)
+  end;
   if !remaining > 0 then begin
     Bytes.blit data !pos ctx.buf 0 !remaining;
     ctx.buf_len <- !remaining
@@ -124,48 +85,73 @@ let feed_bytes ctx (data : Bytes.t) off len =
 
 let feed_string ctx s = feed_bytes ctx (Bytes.unsafe_of_string s) 0 (String.length s)
 
+(* Padding is written into the context's own block buffer (after
+   feeding, buf_len < 64 always holds), so finalization allocates only
+   the 32-byte result. *)
 let finalize ctx =
   let bit_len = ctx.total * 8 in
-  (* Append 0x80 then zero padding then the 64-bit big-endian length. *)
-  let pad_len =
-    let rem = (ctx.total + 1) mod 64 in
-    if rem <= 56 then 56 - rem else 120 - rem
-  in
-  let tail = Bytes.make (1 + pad_len + 8) '\x00' in
-  Bytes.set tail 0 '\x80';
+  let buf = ctx.buf in
+  let n = ctx.buf_len in
+  Bytes.unsafe_set buf n '\x80';
+  if n + 1 > 56 then begin
+    Bytes.fill buf (n + 1) (64 - n - 1) '\x00';
+    compress_blocks ctx.h buf 0 1;
+    Bytes.fill buf 0 56 '\x00'
+  end
+  else Bytes.fill buf (n + 1) (56 - n - 1) '\x00';
   for i = 0 to 7 do
-    Bytes.set tail (1 + pad_len + i) (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xFF))
+    Bytes.unsafe_set buf (56 + i) (Char.unsafe_chr ((bit_len lsr (8 * (7 - i))) land 0xFF))
   done;
-  (* feed_bytes updates [total], but the length is already captured. *)
-  feed_bytes ctx tail 0 (Bytes.length tail);
+  compress_blocks ctx.h buf 0 1;
+  ctx.buf_len <- 0;
+  let h = ctx.h in
   let out = Bytes.create 32 in
-  let put i v =
-    Bytes.set out (4 * i) (Char.chr ((v lsr 24) land 0xFF));
-    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
-    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
-    Bytes.set out ((4 * i) + 3) (Char.chr (v land 0xFF))
-  in
-  put 0 ctx.h0;
-  put 1 ctx.h1;
-  put 2 ctx.h2;
-  put 3 ctx.h3;
-  put 4 ctx.h4;
-  put 5 ctx.h5;
-  put 6 ctx.h6;
-  put 7 ctx.h7;
+  for i = 0 to 7 do
+    let v = Array.unsafe_get h i in
+    Bytes.unsafe_set out (4 * i) (Char.unsafe_chr ((v lsr 24) land 0xFF));
+    Bytes.unsafe_set out ((4 * i) + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set out ((4 * i) + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set out ((4 * i) + 3) (Char.unsafe_chr (v land 0xFF))
+  done;
   Bytes.unsafe_to_string out
 
+(* One-shot digests run on a per-domain scratch context: [digest] cannot
+   re-enter itself (no callbacks), so reuse within a domain is safe, and
+   domains never share a scratch context.
+   ac3-lint: allow D008 — domain-local scratch buffer; the digest value is a pure function of the input *)
+let scratch = Domain.DLS.new_key init
+
+(* ac3-lint: allow D008 — reads this domain's own scratch context *)
+let get_scratch () = Domain.DLS.get scratch
+
 let digest s =
-  let ctx = init () in
+  let ctx = get_scratch () in
+  reset ctx;
   feed_string ctx s;
   finalize ctx
 
+(* One-shot digest of a byte-buffer slice, for callers that patch a
+   reusable message buffer in place (WOTS chain steps). *)
+let digest_bytes b off len =
+  let ctx = get_scratch () in
+  reset ctx;
+  feed_bytes ctx b off len;
+  finalize ctx
+
 let digest_list parts =
-  let ctx = init () in
+  let ctx = get_scratch () in
+  reset ctx;
   List.iter (feed_string ctx) parts;
   finalize ctx
 
 let hexdigest s = Hex.encode (digest s)
 
 (* Double SHA-256, as used by Bitcoin for block and transaction ids. *)
-let digest2 s = digest (digest s)
+let digest2 s =
+  let ctx = get_scratch () in
+  reset ctx;
+  feed_string ctx s;
+  let first = finalize ctx in
+  reset ctx;
+  feed_string ctx first;
+  finalize ctx

@@ -1,6 +1,15 @@
-(** SHA-256 (FIPS 180-4) in pure OCaml. Digests are 32-byte strings. *)
+(** SHA-256 (FIPS 180-4). Digests are 32-byte strings.
+
+    The compression function runs in C — on the x86 SHA extensions when
+    the CPU has them, through a portable scalar loop otherwise. Both
+    compute the identical FIPS 180-4 function; digest values never
+    depend on which path ran. *)
 
 type ctx
+
+(** Whether this machine's CPU provides the SHA extensions (reporting
+    only — the digest value is the same either way). *)
+val shani_available : unit -> bool
 
 (** Fresh streaming context. *)
 val init : unit -> ctx
@@ -8,11 +17,24 @@ val init : unit -> ctx
 (** Feed a chunk into the context. *)
 val feed_string : ctx -> string -> unit
 
-(** Finish and return the 32-byte digest. The context must not be reused. *)
+(** Finish and return the 32-byte digest. The context is left ready for
+    [restore] or re-feeding after a reset by its owner; treat it as
+    spent unless you explicitly restore it. *)
 val finalize : ctx -> string
+
+(** Independent copy of a context — capture a midstate once, replay it
+    many times (HMAC key pads, fixed message prefixes). *)
+val copy : ctx -> ctx
+
+(** Overwrite [dst] with [src]'s state without allocating. *)
+val restore : src:ctx -> dst:ctx -> unit
 
 (** One-shot digest of a string. *)
 val digest : string -> string
+
+(** One-shot digest of a byte-buffer slice; lets hot loops patch a
+    reusable message buffer in place instead of rebuilding a string. *)
+val digest_bytes : Bytes.t -> int -> int -> string
 
 (** Digest of the concatenation of the parts, without materializing it. *)
 val digest_list : string list -> string

@@ -1,0 +1,50 @@
+(* Wall-clock phase profiler (see the interface for the contract). *)
+
+type phase = { name : string; mutable calls : int; mutable secs : float }
+
+let enabled_flag = ref false
+
+let enable () = enabled_flag := true
+
+let disable () = enabled_flag := false
+
+let enabled () = !enabled_flag
+
+(* Interned in the main domain at module-initialization time of the
+   instrumented libraries; lookups after that are reads. *)
+let phases : (string, phase) Hashtbl.t = Hashtbl.create 32
+
+let phase name =
+  match Hashtbl.find_opt phases name with
+  | Some p -> p
+  | None ->
+      let p = { name; calls = 0; secs = 0.0 } in
+      Hashtbl.add phases name p;
+      p
+
+(* ac3-lint: allow D003 — the profiler's whole job is host-clock timing; it is flag-gated and never feeds simulator state *)
+let now () = Unix.gettimeofday ()
+
+let span p f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect f ~finally:(fun () ->
+        p.calls <- p.calls + 1;
+        p.secs <- p.secs +. (now () -. t0))
+  end
+
+let reset () =
+  (* ac3-lint: allow D001 — zeroes every counter in place; the result is the same whatever the visit order *)
+  Hashtbl.iter
+    (fun _ p ->
+      p.calls <- 0;
+      p.secs <- 0.0)
+    phases
+
+let report () =
+  (* ac3-lint: allow D001 — rows are sorted by (seconds, name) before anything observes them *)
+  Hashtbl.fold (fun _ p acc -> if p.calls > 0 then (p.name, p.calls, p.secs) :: acc else acc) phases []
+  |> List.sort (fun (na, _, sa) (nb, _, sb) ->
+         let c = Float.compare sb sa in
+         if c <> 0 then c else String.compare na nb)

@@ -1,0 +1,35 @@
+(** Wall-clock phase profiler behind `ac3 metrics --profile` and the
+    E17 bench.
+
+    Disabled by default: a disabled [span] is one flag read and a
+    branch, so instrumented hot paths cost nothing in normal runs and
+    simulator output stays byte-identical either way — the profiler
+    never feeds simulator state, it only observes host time around it.
+
+    Accumulators are plain mutable fields meant for single-domain
+    profiling runs ([--jobs 1]); enabling the profiler under a parallel
+    sweep loses ticks harmlessly but never corrupts memory. *)
+
+type phase
+
+(** Interned accumulator for a phase name; call once at module
+    initialization and keep the handle. *)
+val phase : string -> phase
+
+(** [span p f] runs [f], attributing its wall-clock time to [p] when
+    profiling is enabled. Re-entrant: nested spans double-count their
+    parents, which is the conventional inclusive-time reading. *)
+val span : phase -> (unit -> 'a) -> 'a
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** Zero every accumulator. *)
+val reset : unit -> unit
+
+(** [(name, calls, seconds)] rows, sorted by descending seconds (ties
+    by name); phases that never ticked are omitted. *)
+val report : unit -> (string * int * float) list

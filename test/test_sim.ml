@@ -254,6 +254,142 @@ let test_engine_schedule_boundaries () =
   Alcotest.(check bool) "time = now fires" true !fired;
   Alcotest.(check (float 1e-9)) "clock unchanged" 1.0 (Engine.now e)
 
+(* --- Arena (lib/fast): slot recycling and stale handles ---------------- *)
+
+module Arena = Ac3_fast.Arena
+
+let test_arena_cancel_live () =
+  let a = Arena.create () in
+  let h = Arena.add a ~time:1.0 ~seq:0 (fun () -> ()) in
+  Alcotest.(check bool) "not cancelled yet" false (Arena.is_cancelled a h);
+  Arena.cancel a h;
+  Alcotest.(check bool) "flagged" true (Arena.is_cancelled a h);
+  Arena.cancel a h;
+  Alcotest.(check bool) "idempotent" true (Arena.is_cancelled a h);
+  Alcotest.(check int) "size counts cancelled events" 1 (Arena.size a);
+  Alcotest.(check int) "live_count does not" 0 (Arena.live_count a)
+
+let test_arena_stale_handle_inert () =
+  let a = Arena.create ~capacity:2 () in
+  let h1 = Arena.add a ~time:1.0 ~seq:0 (fun () -> ()) in
+  let slot = Arena.pop_min a in
+  Arena.release a slot;
+  (* h1 is stale: its event was popped and the slot is on the free list. *)
+  Alcotest.(check bool) "stale handle reads not-cancelled" false (Arena.is_cancelled a h1);
+  (* The freed slot is recycled for the next event; the stale handle's
+     generation no longer matches, so it cannot resurrect into cancelling
+     the slot's new occupant. *)
+  let h2 = Arena.add a ~time:2.0 ~seq:1 (fun () -> ()) in
+  Arena.cancel a h1;
+  Alcotest.(check bool) "stale cancel leaves the recycled slot alone" false
+    (Arena.is_cancelled a h2);
+  Alcotest.(check int) "new occupant still live" 1 (Arena.live_count a)
+
+let test_arena_free_list_reuse () =
+  (* Start at capacity 1 and run a thousand add/pop cycles with at most
+     two events in flight: slots must recycle through the free list and
+     pop order must stay (time, seq) throughout. *)
+  let a = Arena.create ~capacity:1 () in
+  let seq = ref 0 in
+  let popped = ref [] in
+  for round = 1 to 1000 do
+    let t = float_of_int round in
+    for _ = 1 to 2 do
+      ignore (Arena.add a ~time:t ~seq:!seq (fun () -> ()) : Arena.handle);
+      incr seq
+    done;
+    for _ = 1 to 2 do
+      let s = Arena.pop_min a in
+      popped := Arena.slot_time a s :: !popped;
+      Arena.release a s
+    done
+  done;
+  Alcotest.(check bool) "drained" true (Arena.is_empty a);
+  let expect =
+    List.concat_map
+      (fun r ->
+        let t = float_of_int (r + 1) in
+        [ t; t ])
+      (List.init 1000 Fun.id)
+  in
+  Alcotest.(check (list (float 1e-9))) "pop order over recycled slots" expect (List.rev !popped)
+
+let test_arena_equal_time_tie_break_across_reuse () =
+  (* Everything at one timestamp; an early event is cancelled, popped and
+     its slot recycled for later sequence numbers. (time, seq) order must
+     win over slot index. *)
+  let a = Arena.create ~capacity:2 () in
+  let log = ref [] in
+  let ev k () = log := k :: !log in
+  let h0 = Arena.add a ~time:5.0 ~seq:0 (ev 0) in
+  ignore (Arena.add a ~time:5.0 ~seq:1 (ev 1) : Arena.handle);
+  Arena.cancel a h0;
+  let s = Arena.pop_min a in
+  Alcotest.(check bool) "cancelled first-in pops first" true (Arena.slot_cancelled a s);
+  Arena.release a s;
+  ignore (Arena.add a ~time:5.0 ~seq:2 (ev 2) : Arena.handle);
+  ignore (Arena.add a ~time:5.0 ~seq:3 (ev 3) : Arena.handle);
+  while not (Arena.is_empty a) do
+    let s = Arena.pop_min a in
+    let cb = Arena.slot_callback a s in
+    let cancelled = Arena.slot_cancelled a s in
+    Arena.release a s;
+    if not cancelled then cb ()
+  done;
+  Alcotest.(check (list int)) "seq order, not slot order" [ 1; 2; 3 ] (List.rev !log)
+
+(* Regression caught by the differential harness (test_fast.ml): the
+   handle's cancelled flag is sticky. The boxed-heap engine's handle WAS
+   the event record, so [is_cancelled] stayed true after the cancelled
+   event's timestamp passed; the arena reaps the slot at that point, and
+   a generation-checked lookup alone would flip the answer to false. The
+   engine keeps the bit on the handle so the historical observable
+   survives slot recycling. *)
+let test_engine_cancelled_flag_outlives_event () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  ignore (Engine.run e);
+  Alcotest.(check bool) "did not fire" false !fired;
+  Alcotest.(check bool) "flag survives past the event's timestamp" true (Engine.is_cancelled h);
+  (* The reaped slot is recycled; a second cancel through the stale
+     handle must not resurrect into cancelling the new occupant. *)
+  let fired2 = ref false in
+  let h2 = Engine.schedule e ~delay:1.0 (fun () -> fired2 := true) in
+  Engine.cancel h;
+  ignore (Engine.run e);
+  Alcotest.(check bool) "recycled slot's event unaffected" true !fired2;
+  Alcotest.(check bool) "new handle not cancelled" false (Engine.is_cancelled h2)
+
+let test_engine_cancel_after_fire () =
+  let e = Engine.create () in
+  let h = Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  ignore (Engine.run e);
+  Alcotest.(check bool) "fired event reads not-cancelled" false (Engine.is_cancelled h);
+  (* Historical semantics: cancel after the fact still flags the handle. *)
+  Engine.cancel h;
+  Alcotest.(check bool) "cancel after fire flags the handle" true (Engine.is_cancelled h);
+  (* ... without leaking into whatever reuses the slot. *)
+  let fired = ref false in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> fired := true) : Engine.handle);
+  ignore (Engine.run e);
+  Alcotest.(check bool) "later event on the recycled slot fires" true !fired
+
+let test_engine_free_list_reuse_at_scale () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  for _ = 1 to 500 do
+    let hs =
+      List.init 8 (fun i -> Engine.schedule e ~delay:(float_of_int i) (fun () -> incr fired))
+    in
+    List.iteri (fun i h -> if i mod 2 = 0 then Engine.cancel h) hs;
+    ignore (Engine.run e)
+  done;
+  Alcotest.(check int) "half the events fired" (500 * 4) !fired;
+  Alcotest.(check int) "executed counter agrees" (500 * 4) (Engine.executed_events e);
+  Alcotest.(check int) "queue drained" 0 (Engine.pending_events e)
+
 (* --- Trace ------------------------------------------------------------ *)
 
 let test_trace_spans () =
@@ -396,6 +532,18 @@ let () =
             test_engine_until_advances_drained_clock;
           Alcotest.test_case "stop keeps clock" `Quick test_engine_stop_keeps_clock;
           Alcotest.test_case "schedule boundaries" `Quick test_engine_schedule_boundaries;
+          Alcotest.test_case "cancelled flag outlives the event" `Quick
+            test_engine_cancelled_flag_outlives_event;
+          Alcotest.test_case "cancel after fire" `Quick test_engine_cancel_after_fire;
+          Alcotest.test_case "free-list reuse at scale" `Quick test_engine_free_list_reuse_at_scale;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "cancel live handle" `Quick test_arena_cancel_live;
+          Alcotest.test_case "stale handle is inert" `Quick test_arena_stale_handle_inert;
+          Alcotest.test_case "free-list reuse" `Quick test_arena_free_list_reuse;
+          Alcotest.test_case "equal-time tie-break across reuse" `Quick
+            test_arena_equal_time_tie_break_across_reuse;
         ] );
       ( "trace",
         [
